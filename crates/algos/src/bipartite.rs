@@ -1,0 +1,229 @@
+//! Bipartite machinery: 2-colouring, maximum matching by augmenting paths,
+//! and König's theorem (ν = τ) with an explicit cover witness.
+//!
+//! These serve two purposes: they cross-validate the branch-and-bound
+//! solvers of `locap-problems` on bipartite instances, and König's
+//! matching→cover construction is the classical *centralised* counterpart
+//! of the LP-duality argument behind the edge-packing vertex cover
+//! ([`crate::edge_packing`]).
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use locap_graph::{Edge, Graph, NodeId};
+
+/// A proper 2-colouring by BFS (`true` = one side), or `None` if the graph
+/// contains an odd cycle.
+pub fn two_color(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.node_count();
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    for s in 0..n {
+        if color[s].is_some() {
+            continue;
+        }
+        color[s] = Some(false);
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            let cv = color[v].expect("queued nodes are coloured");
+            for &u in g.neighbors(v) {
+                match color[u] {
+                    None => {
+                        color[u] = Some(!cv);
+                        q.push_back(u);
+                    }
+                    Some(cu) => {
+                        if cu == cv {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.expect("all nodes coloured")).collect())
+}
+
+/// Whether the graph is bipartite.
+pub fn is_bipartite(g: &Graph) -> bool {
+    two_color(g).is_some()
+}
+
+/// Maximum matching in a bipartite graph by repeated augmenting paths
+/// (Kuhn's algorithm). Returns `None` if the graph is not bipartite.
+pub fn maximum_matching_bipartite(g: &Graph) -> Option<BTreeSet<Edge>> {
+    let colors = two_color(g)?;
+    let n = g.node_count();
+    let left: Vec<NodeId> = (0..n).filter(|&v| !colors[v]).collect();
+    let mut matched: Vec<Option<NodeId>> = vec![None; n]; // for both sides
+
+    fn augment(
+        v: NodeId,
+        g: &Graph,
+        matched: &mut Vec<Option<NodeId>>,
+        visited: &mut Vec<bool>,
+    ) -> bool {
+        for &u in g.neighbors(v) {
+            if visited[u] {
+                continue;
+            }
+            visited[u] = true;
+            let free = match matched[u] {
+                None => true,
+                Some(w) => augment(w, g, matched, visited),
+            };
+            if free {
+                matched[u] = Some(v);
+                matched[v] = Some(u);
+                return true;
+            }
+        }
+        false
+    }
+
+    for &v in &left {
+        if matched[v].is_none() {
+            let mut visited = vec![false; n];
+            augment(v, g, &mut matched, &mut visited);
+        }
+    }
+    let mut out = BTreeSet::new();
+    for v in 0..n {
+        if let Some(u) = matched[v] {
+            out.insert(Edge::new(v, u));
+        }
+    }
+    Some(out)
+}
+
+/// König's construction: a minimum vertex cover of a bipartite graph from
+/// a maximum matching (|cover| = |matching|). Returns `None` if the graph
+/// is not bipartite.
+pub fn koenig_cover(g: &Graph) -> Option<BTreeSet<NodeId>> {
+    let colors = two_color(g)?;
+    let matching = maximum_matching_bipartite(g)?;
+    let n = g.node_count();
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    for e in &matching {
+        mate[e.u] = Some(e.v);
+        mate[e.v] = Some(e.u);
+    }
+    // alternating BFS from unmatched left vertices
+    let mut reached = vec![false; n];
+    let mut q: VecDeque<NodeId> =
+        (0..n).filter(|&v| !colors[v] && mate[v].is_none()).collect();
+    for &v in &q {
+        reached[v] = true;
+    }
+    while let Some(v) = q.pop_front() {
+        if !colors[v] {
+            // left: follow non-matching edges
+            for &u in g.neighbors(v) {
+                if mate[v] != Some(u) && !reached[u] {
+                    reached[u] = true;
+                    q.push_back(u);
+                }
+            }
+        } else {
+            // right: follow the matching edge
+            if let Some(u) = mate[v] {
+                if !reached[u] {
+                    reached[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+    }
+    // cover = (left not reached) ∪ (right reached)
+    let cover: BTreeSet<NodeId> = (0..n)
+        .filter(|&v| if colors[v] { reached[v] } else { !reached[v] })
+        .collect();
+    Some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::gen;
+    use locap_problems::{matching, vertex_cover};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn two_color_detects_parity() {
+        assert!(is_bipartite(&gen::cycle(6)));
+        assert!(!is_bipartite(&gen::cycle(5)));
+        assert!(is_bipartite(&gen::path(7)));
+        assert!(is_bipartite(&gen::hypercube(4)));
+        assert!(!is_bipartite(&gen::petersen()));
+        assert!(!is_bipartite(&gen::complete(3)));
+        assert!(is_bipartite(&gen::complete_bipartite(3, 4)));
+        // colouring is proper
+        let g = gen::hypercube(3);
+        let c = two_color(&g).unwrap();
+        for e in g.edges() {
+            assert_ne!(c[e.u], c[e.v]);
+        }
+    }
+
+    #[test]
+    fn matching_agrees_with_exact_solver() {
+        for g in [
+            gen::cycle(8),
+            gen::path(9),
+            gen::complete_bipartite(3, 5),
+            gen::hypercube(3),
+            gen::grid(3, 4),
+        ] {
+            let m = maximum_matching_bipartite(&g).unwrap();
+            assert!(matching::feasible(&g, &m));
+            assert_eq!(m.len(), matching::opt_value(&g), "sizes agree with B&B");
+        }
+        assert!(maximum_matching_bipartite(&gen::cycle(5)).is_none());
+    }
+
+    #[test]
+    fn koenig_matches_exact_vertex_cover() {
+        for g in [
+            gen::cycle(10),
+            gen::path(6),
+            gen::complete_bipartite(2, 5),
+            gen::hypercube(3),
+            gen::grid(4, 3),
+        ] {
+            let cover = koenig_cover(&g).unwrap();
+            assert!(vertex_cover::feasible(&g, &cover));
+            assert_eq!(cover.len(), vertex_cover::opt_value(&g), "König: τ = B&B τ");
+            assert_eq!(cover.len(), matching::opt_value(&g), "König: τ = ν");
+        }
+    }
+
+    #[test]
+    fn random_bipartite_instances() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for trial in 0..25 {
+            let (a, b) = (rng.gen_range(2..7), rng.gen_range(2..7));
+            let mut g = Graph::new(a + b);
+            for u in 0..a {
+                for v in 0..b {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge(u, a + v).unwrap();
+                    }
+                }
+            }
+            let m = maximum_matching_bipartite(&g).unwrap();
+            assert!(matching::feasible(&g, &m), "trial {trial}");
+            assert_eq!(m.len(), matching::opt_value(&g), "trial {trial}");
+            let c = koenig_cover(&g).unwrap();
+            assert!(vertex_cover::feasible(&g, &c), "trial {trial}");
+            assert_eq!(c.len(), m.len(), "trial {trial}: König equality");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = Graph::new(4);
+        assert!(is_bipartite(&g));
+        assert_eq!(maximum_matching_bipartite(&g).unwrap().len(), 0);
+        assert_eq!(koenig_cover(&g).unwrap().len(), 0);
+    }
+}

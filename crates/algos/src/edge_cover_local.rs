@@ -1,0 +1,68 @@
+//! The radius-1 2-approximation of minimum edge cover.
+//!
+//! Every node selects its first-port incident edge. The result covers every
+//! node, and since any edge cover has at least `n/2` edges while this one
+//! has at most `n`, the factor is 2 — matching the tight bound of §1.4.
+//! This is a genuinely anonymous (PN-model) constant-time algorithm.
+
+use std::collections::BTreeSet;
+
+use locap_graph::{Edge, Graph, PortNumbering};
+
+/// Each node selects the edge behind its port 0. Nodes of degree 0 make the
+/// instance infeasible (`None`).
+pub fn edge_cover_first_port(g: &Graph, ports: &PortNumbering) -> Option<BTreeSet<Edge>> {
+    let mut out = BTreeSet::new();
+    for v in g.nodes() {
+        let u = ports.neighbor(v, 0)?;
+        out.insert(Edge::new(v, u));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::{gen, random};
+    use locap_problems::edge_cover;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn feasible_and_within_factor_2() {
+        let suite = [
+            gen::cycle(5),
+            gen::cycle(8),
+            gen::path(6),
+            gen::complete(5),
+            gen::complete_bipartite(2, 3),
+            gen::star(7),
+            gen::petersen(),
+        ];
+        for (i, g) in suite.iter().enumerate() {
+            let ports = PortNumbering::sorted(g);
+            let c = edge_cover_first_port(g, &ports).unwrap();
+            assert!(edge_cover::feasible(g, &c), "instance {i}");
+            let opt = edge_cover::opt_value(g).unwrap();
+            assert!(c.len() <= 2 * opt, "instance {i}: {} > 2·{opt}", c.len());
+        }
+    }
+
+    #[test]
+    fn isolated_node_infeasible() {
+        let g = Graph::new(2);
+        let ports = PortNumbering::sorted(&g);
+        assert_eq!(edge_cover_first_port(&g, &ports), None);
+    }
+
+    #[test]
+    fn random_ports_still_feasible() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let g = gen::petersen();
+        for _ in 0..10 {
+            let ports = random::random_ports(&g, &mut rng);
+            let c = edge_cover_first_port(&g, &ports).unwrap();
+            assert!(edge_cover::feasible(&g, &c));
+        }
+    }
+}

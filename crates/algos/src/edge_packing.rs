@@ -1,0 +1,216 @@
+//! Maximal fractional edge packing → 2-approximate vertex cover
+//! (Åstrand et al., DISC 2009).
+//!
+//! An *edge packing* assigns weights `y_e ≥ 0` with `Σ_{e ∋ v} y_e ≤ 1`
+//! at every node; a node is **saturated** when its constraint is tight.
+//! When the packing is *maximal* (no `y_e` can grow), every edge has a
+//! saturated endpoint, so the saturated nodes form a vertex cover; LP
+//! duality gives `|C| ≤ 2 Σ y_e ≤ 2 ν_f(G) ≤ 2 τ(G)` — a 2-approximation.
+//!
+//! The synchronous rounds implemented here are anonymous and
+//! orientation-free: in each round every unsaturated node offers its
+//! residual capacity split evenly over its active incident edges, and each
+//! active edge increases `y_e` by the *minimum* of its two endpoints'
+//! offers. Any node attaining the global minimum offer saturates, so at
+//! least one node saturates per round and the process ends in < n rounds
+//! (on bounded-degree instances it ends in O(Δ) rounds in practice; the
+//! measured count is reported). Arithmetic is exact ([`locap_num::Ratio`]).
+
+use std::collections::BTreeSet;
+
+use locap_graph::{Graph, NodeId};
+use locap_num::{NumError, Ratio};
+
+/// Result of the edge-packing algorithm.
+#[derive(Debug, Clone)]
+pub struct EdgePacking {
+    /// The edge weights `y_e` (aligned with `g.edge_vec()`).
+    pub weights: Vec<Ratio>,
+    /// Saturated nodes (the vertex cover).
+    pub saturated: BTreeSet<NodeId>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl EdgePacking {
+    /// The total packing weight `Σ y_e`.
+    pub fn total_weight(&self) -> Result<Ratio, NumError> {
+        locap_num::sum(self.weights.iter().copied())
+    }
+}
+
+/// Runs the simultaneous-offer maximal edge packing.
+///
+/// # Errors
+///
+/// Propagates rational-arithmetic overflow (not observed on bounded-degree
+/// instances; the cap `max_rounds = n + 2` bounds the loop).
+pub fn maximal_edge_packing(g: &Graph) -> Result<EdgePacking, NumError> {
+    let edges = g.edge_vec();
+    let n = g.node_count();
+    let mut y = vec![Ratio::ZERO; edges.len()];
+    let mut residual = vec![Ratio::ONE; n];
+    let max_rounds = n + 2;
+    let mut rounds = 0;
+
+    for _ in 0..max_rounds {
+        // active edges: positive residual at both endpoints
+        let active: Vec<usize> = (0..edges.len())
+            .filter(|&i| !residual[edges[i].u].is_zero() && !residual[edges[i].v].is_zero())
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        rounds += 1;
+        // active degree of each node
+        let mut deg = vec![0usize; n];
+        for &i in &active {
+            deg[edges[i].u] += 1;
+            deg[edges[i].v] += 1;
+        }
+        // offers
+        let offer = |v: NodeId| -> Result<Ratio, NumError> {
+            residual[v].div(Ratio::from_int(deg[v] as i128))
+        };
+        // simultaneous increase by the min offer
+        let mut inc = vec![Ratio::ZERO; edges.len()];
+        for &i in &active {
+            let e = edges[i];
+            inc[i] = offer(e.u)?.min(offer(e.v)?);
+        }
+        for &i in &active {
+            let e = edges[i];
+            y[i] = y[i].add(inc[i])?;
+            residual[e.u] = residual[e.u].sub(inc[i])?;
+            residual[e.v] = residual[e.v].sub(inc[i])?;
+        }
+    }
+
+    let saturated: BTreeSet<NodeId> = (0..n).filter(|&v| residual[v].is_zero()).collect();
+    Ok(EdgePacking { weights: y, saturated, rounds })
+}
+
+/// Checks that `(g, y)` is a feasible, *maximal* edge packing.
+pub fn is_maximal_packing(g: &Graph, y: &[Ratio]) -> bool {
+    let edges = g.edge_vec();
+    if y.len() != edges.len() || y.iter().any(|w| *w < Ratio::ZERO) {
+        return false;
+    }
+    let mut load = vec![Ratio::ZERO; g.node_count()];
+    for (i, e) in edges.iter().enumerate() {
+        load[e.u] = load[e.u].add(y[i]).expect("small rationals");
+        load[e.v] = load[e.v].add(y[i]).expect("small rationals");
+    }
+    if load.iter().any(|l| *l > Ratio::ONE) {
+        return false; // infeasible
+    }
+    // maximal: every edge has a saturated endpoint
+    edges.iter().all(|e| load[e.u] == Ratio::ONE || load[e.v] == Ratio::ONE)
+}
+
+/// The 2-approximate vertex cover: saturated nodes of a maximal packing.
+///
+/// # Errors
+///
+/// Propagates arithmetic overflow from the packing computation.
+pub fn vc_edge_packing(g: &Graph) -> Result<BTreeSet<NodeId>, NumError> {
+    Ok(maximal_edge_packing(g)?.saturated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::{gen, random};
+    use locap_problems::vertex_cover;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn packing_is_maximal_on_suite() {
+        let suite = [
+            gen::cycle(5),
+            gen::cycle(6),
+            gen::path(7),
+            gen::complete(5),
+            gen::complete_bipartite(2, 4),
+            gen::star(6),
+            gen::petersen(),
+            gen::hypercube(3),
+        ];
+        for (i, g) in suite.iter().enumerate() {
+            let p = maximal_edge_packing(g).unwrap();
+            assert!(is_maximal_packing(g, &p.weights), "instance {i}");
+        }
+    }
+
+    #[test]
+    fn saturated_nodes_cover_within_factor_2() {
+        let suite = [
+            gen::cycle(5),
+            gen::cycle(9),
+            gen::path(7),
+            gen::complete(5),
+            gen::star(6),
+            gen::petersen(),
+            gen::hypercube(3),
+        ];
+        for (i, g) in suite.iter().enumerate() {
+            let vc = vc_edge_packing(g).unwrap();
+            assert!(vertex_cover::feasible(g, &vc), "instance {i}");
+            let opt = vertex_cover::opt_value(g);
+            assert!(vc.len() <= 2 * opt, "instance {i}: {} > 2·{opt}", vc.len());
+        }
+    }
+
+    #[test]
+    fn triangle_saturates_in_one_round() {
+        let g = gen::cycle(3);
+        let p = maximal_edge_packing(&g).unwrap();
+        assert_eq!(p.rounds, 1);
+        assert_eq!(p.saturated.len(), 3);
+        assert_eq!(p.total_weight().unwrap(), Ratio::new(3, 2).unwrap());
+    }
+
+    #[test]
+    fn single_edge_packs_fully() {
+        let g = gen::path(2);
+        let p = maximal_edge_packing(&g).unwrap();
+        assert_eq!(p.weights, vec![Ratio::ONE]);
+        assert_eq!(p.saturated.len(), 2);
+    }
+
+    #[test]
+    fn star_saturates_centre_only() {
+        let g = gen::star(4);
+        let p = maximal_edge_packing(&g).unwrap();
+        // centre gets 1/4 per edge: load 1 at centre, 1/4 at leaves
+        assert_eq!(p.saturated.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(p.total_weight().unwrap(), Ratio::ONE);
+        let vc = p.saturated;
+        assert!(vertex_cover::feasible(&g, &vc));
+        assert_eq!(vc.len(), vertex_cover::opt_value(&g), "optimal on stars");
+    }
+
+    #[test]
+    fn lp_duality_bound_holds() {
+        // |C| ≤ 2 Σ y_e exactly.
+        for g in [gen::petersen(), gen::cycle(7), gen::hypercube(3)] {
+            let p = maximal_edge_packing(&g).unwrap();
+            let twice = p.total_weight().unwrap().mul(Ratio::from_int(2)).unwrap();
+            assert!(Ratio::from_int(p.saturated.len() as i128) <= twice);
+        }
+    }
+
+    #[test]
+    fn rounds_small_on_random_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(n, d) in &[(12, 3), (16, 4), (20, 5)] {
+            let g = random::random_regular(n, d, 1000, &mut rng).unwrap();
+            let p = maximal_edge_packing(&g).unwrap();
+            assert!(is_maximal_packing(&g, &p.weights));
+            assert!(p.rounds <= 2 * d + 2, "rounds {} on ({n},{d})", p.rounds);
+            let vc: BTreeSet<_> = p.saturated;
+            assert!(vertex_cover::feasible(&g, &vc));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Bench: the §1.4 claims-table algorithms — VC 2-approx (edge packing),
+//! VC 3-approx (double cover), edge cover 2-approx, and the exact solvers
+//! they are measured against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locap_algos::double_cover::vc_double_cover;
+use locap_algos::edge_cover_local::edge_cover_first_port;
+use locap_algos::edge_packing::maximal_edge_packing;
+use locap_graph::{gen, random, PortNumbering};
+use locap_problems::{dominating_set, vertex_cover};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let g3 = random::random_regular(30, 3, 1000, &mut rng).unwrap();
+    let g4 = random::random_regular(24, 4, 1000, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("vc_algorithms");
+    for (name, g) in [("3reg30", &g3), ("4reg24", &g4)] {
+        let ports = PortNumbering::sorted(g);
+        group.bench_with_input(BenchmarkId::new("edge_packing_2approx", name), g, |b, g| {
+            b.iter(|| black_box(maximal_edge_packing(g).unwrap().saturated.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("double_cover_3approx", name), g, |b, g| {
+            b.iter(|| black_box(vc_double_cover(g, &ports).len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("edge_cover_2approx");
+    let p = gen::petersen();
+    let ports = PortNumbering::sorted(&p);
+    group.bench_function("petersen", |b| {
+        b.iter(|| black_box(edge_cover_first_port(&p, &ports).unwrap().len()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("exact_solvers");
+    group.sample_size(10);
+    group.bench_function("vc_petersen", |b| {
+        b.iter(|| black_box(vertex_cover::opt_value(&gen::petersen())))
+    });
+    group.bench_function("ds_petersen", |b| {
+        b.iter(|| black_box(dominating_set::opt_value(&gen::petersen())))
+    });
+    group.bench_with_input(BenchmarkId::new("vc_random_regular", 30), &g3, |b, g| {
+        b.iter(|| black_box(vertex_cover::opt_value(g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: Cole–Vishkin colour reduction on cycles (Fig. 2 / §6.2 —
+//! "dependence on n"). The reduction round count is log*-like; wall-clock
+//! per full MIS pipeline scales linearly in n with a log* factor.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locap_algos::cole_vishkin::{cycle_mis, rounds_to_six_colors};
+use locap_graph::gen;
+
+fn ids_for(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|v| v.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) | 1).collect()
+}
+
+fn bench_cv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cole_vishkin_mis");
+    for n in [64usize, 256, 1024] {
+        let g = gen::cycle(n);
+        let ids = ids_for(n);
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
+            b.iter(|| black_box(cycle_mis(&g, &ids).mis.len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cv_reduction_rounds");
+    for n in [64usize, 1024] {
+        let g = gen::cycle(n);
+        let ids = ids_for(n);
+        group.bench_with_input(BenchmarkId::new("rounds_probe", n), &n, |b, _| {
+            b.iter(|| black_box(rounds_to_six_colors(&g, &ids)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cv);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench: building complete trees (T*, λ) and extracting views —
+//! the per-node cost of every PO algorithm (Fig. 5 machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locap_graph::{gen, PoGraph};
+use locap_lifts::{complete_tree, view};
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complete_tree");
+    for (labels, r) in [(1usize, 4usize), (2, 3), (3, 3), (4, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("L{labels}_r{r}")),
+            &(labels, r),
+            |b, &(labels, r)| b.iter(|| black_box(complete_tree(labels, r).size())),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("view_extraction");
+    let g = gen::petersen();
+    let po = PoGraph::canonical(&g);
+    for r in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("petersen", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for v in 0..10 {
+                    total += view(po.digraph(), v, r).size();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trees);
+criterion_main!(benches);

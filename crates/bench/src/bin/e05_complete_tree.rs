@@ -1,0 +1,42 @@
+//! E05 — Fig. 5: the complete tree (T*, λ).
+//!
+//! Prints `t = |T*|` for a grid of alphabet sizes and radii (the quantity
+//! the Ramsey argument of §4.2 depends on), verifies the branching
+//! structure (root degree 2|L|, inner degree 2|L|−1 children), and shows
+//! Fig. 5's instance |L| = 2, r = 2 explicitly.
+
+use locap_bench::{banner, cells, Table};
+use locap_lifts::{complete_tree, reduced_words, t_star_size};
+
+fn main() {
+    banner("E05", "Fig. 5 — the complete L-labelled tree (T*, λ)");
+
+    println!("\nt = |T*| (vertices = reduced words of length ≤ r):\n");
+    let mut t = Table::new(&["|L|", "r=1", "r=2", "r=3", "r=4"]);
+    for labels in 1..=4usize {
+        t.row(&cells([
+            &labels,
+            &t_star_size(labels, 1),
+            &t_star_size(labels, 2),
+            &t_star_size(labels, 3),
+            &t_star_size(labels, 4),
+        ]));
+    }
+    t.print();
+
+    println!("\nFig. 5 instance |L| = 2, r = 2: the 17 reduced words:\n");
+    for w in reduced_words(2, 2) {
+        print!("{w}  ");
+    }
+    println!();
+
+    let tree = complete_tree(2, 2);
+    println!("\nroot children: {} (= 2|L|)", tree.root.children.len());
+    let inner_ok = tree
+        .root
+        .children
+        .iter()
+        .all(|(_, c)| c.children.len() == 3);
+    println!("every depth-1 node has 3 children (= 2|L| − 1): {inner_ok}");
+    println!("size matches closed formula: {}", tree.size() == t_star_size(2, 2));
+}

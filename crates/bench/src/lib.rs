@@ -1,0 +1,86 @@
+//! Shared table-printing helpers for the experiment binaries.
+//!
+//! Each binary `eNN_…` regenerates one figure or claims table of the paper
+//! (see DESIGN.md §3 for the index and EXPERIMENTS.md for recorded
+//! outputs). The helpers here render aligned ASCII tables so the binaries'
+//! stdout is directly pasteable into EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a header banner for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// A minimal aligned-column table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for c in 0..cols {
+                s.push_str(&format!("{:width$}  ", cells[c], width = widths[c]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Convenience macro-free cell builder.
+pub fn cells<const N: usize>(values: [&dyn std::fmt::Display; N]) -> Vec<String> {
+    values.iter().map(|v| v.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&cells([&1, &"xyz"]));
+        t.row(&cells([&100, &"q"]));
+        t.print();
+        banner("E00", "smoke");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a"]);
+        t.row(&cells([&1, &2]));
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors from the constructions of the main theorems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No generator set of the requested size and girth was found within
+    /// the search budget.
+    GeneratorSearchFailed {
+        /// Number of generators requested.
+        k: usize,
+        /// Girth bound required (`> 2r + 1`).
+        girth_bound: usize,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// The requested construction parameters exceed what can be
+    /// materialised (group order too large).
+    TooLarge {
+        /// Description of the blow-up.
+        reason: String,
+    },
+    /// A verification step failed — the constructed object does not have
+    /// the property the theorem promises (indicates a bug or bad inputs).
+    VerificationFailed {
+        /// Which property failed.
+        property: String,
+    },
+    /// Invalid parameters.
+    BadParameters {
+        /// Description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::GeneratorSearchFailed { k, girth_bound, detail } => write!(
+                f,
+                "no {k}-generator set with girth > {girth_bound} found: {detail}"
+            ),
+            CoreError::TooLarge { reason } => write!(f, "construction too large: {reason}"),
+            CoreError::VerificationFailed { property } => {
+                write!(f, "verification failed: {property}")
+            }
+            CoreError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CoreError::GeneratorSearchFailed { k: 2, girth_bound: 5, detail: "x".into() };
+        assert!(e.to_string().contains("girth > 5"));
+        assert!(CoreError::TooLarge { reason: "6^15".into() }.to_string().contains("6^15"));
+        let e: Box<dyn std::error::Error> =
+            Box::new(CoreError::VerificationFailed { property: "girth".into() });
+        assert!(e.to_string().contains("girth"));
+    }
+}

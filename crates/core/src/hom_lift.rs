@@ -1,0 +1,257 @@
+//! Homogeneous lifts — **Theorem 3.3** (paper §3.3, Fig. 7).
+//!
+//! Given any L-digraph `G` and a homogeneous graph `H = H_ε` over the same
+//! alphabet (Theorem 3.2), the label-matching product `G_ε = H × G`:
+//!
+//! * is a lift of `G` (projection onto the `G` factor is a covering map);
+//! * inherits `H`'s girth > 2r + 1 (projection onto `H` is a graph
+//!   homomorphism);
+//! * carries a linear order (any completion of the pullback of `H`'s
+//!   order) under which a `1 − ε` fraction of vertices have ordered
+//!   `r`-neighbourhoods isomorphic to *ordered subtrees of τ*** — exactly
+//!   the property the OI→PO simulation (Thm 4.1) feeds on.
+//!
+//! All three properties are verified computationally by
+//! [`HomogeneousLift::verify`].
+
+use locap_graph::canon::ordered_lnbhd_in;
+use locap_graph::product::label_matching_product;
+use locap_graph::LDigraph;
+use locap_groups::{Group, IterGroup};
+use locap_lifts::{view, CoveringMap, Letter, Word};
+use locap_num::Ratio;
+
+use crate::homogeneous::HomogeneousGraph;
+use crate::CoreError;
+
+/// The lift `G_ε = H_ε × G` of Theorem 3.3, with its order and covering
+/// map.
+#[derive(Debug, Clone)]
+pub struct HomogeneousLift {
+    /// The lifted graph `G_ε`.
+    pub lift: LDigraph,
+    /// The covering map ϕ : V(G_ε) → V(G).
+    pub phi: CoveringMap,
+    /// Rank of each lift vertex in the completed order `<_C`.
+    pub rank: Vec<usize>,
+    /// Vertices in fibres of τ*-typed `H` vertices (the `U_C` of the
+    /// proof) — on these the ordered neighbourhood embeds in τ*.
+    pub good: Vec<bool>,
+    /// The radius the construction targets.
+    pub radius: usize,
+}
+
+impl HomogeneousLift {
+    /// The fraction of good vertices (≥ 1 − ε by construction).
+    pub fn good_fraction(&self) -> Ratio {
+        let good = self.good.iter().filter(|&&b| b).count();
+        Ratio::new(good as i128, self.good.len() as i128).expect("non-empty lift")
+    }
+
+    /// Number of lift vertices.
+    pub fn node_count(&self) -> usize {
+        self.lift.node_count()
+    }
+}
+
+/// Evaluates a walk (reduced word) in the group `U`, mapping letter `ℓ` to
+/// `gens[ℓ]` and `ℓ⁻¹` to its inverse.
+pub fn eval_word(u: &IterGroup, gens: &[Vec<i64>], w: &Word) -> Vec<i64> {
+    let mut acc = u.identity();
+    for l in w.letters() {
+        let g = if l.inverse { u.inv(&gens[l.label]) } else { gens[l.label].clone() };
+        acc = u.op(&acc, &g);
+    }
+    acc
+}
+
+/// Builds the homogeneous lift `G_ε = H × G`.
+///
+/// # Errors
+///
+/// Fails if the alphabets disagree or the verified properties do not hold.
+pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<HomogeneousLift, CoreError> {
+    if g.alphabet_size() != h.digraph.alphabet_size() {
+        return Err(CoreError::BadParameters {
+            reason: format!(
+                "alphabet mismatch: G has {}, H has {}",
+                g.alphabet_size(),
+                h.digraph.alphabet_size()
+            ),
+        });
+    }
+    let ng = g.node_count();
+    let nh = h.node_count();
+    let lift = label_matching_product(&h.digraph, g);
+
+    // ϕ_G((a, b)) = b; a covering map because H is label-complete.
+    let phi = CoveringMap::new((0..nh * ng).map(|x| x % ng).collect());
+    phi.verify(&lift, g).map_err(|e| CoreError::VerificationFailed {
+        property: format!("covering map: {e}"),
+    })?;
+
+    // order: pull back H's order along ϕ_H((a, b)) = a and complete by the
+    // G index (fibres of ϕ_H are incomparable in <_p; any completion works
+    // because no r-ball contains two vertices of a common ϕ_H-fibre).
+    let mut perm: Vec<usize> = (0..nh * ng).collect();
+    perm.sort_by_key(|&x| (h.rank[x / ng], x % ng));
+    let mut rank = vec![0usize; nh * ng];
+    for (pos, &x) in perm.iter().enumerate() {
+        rank[x] = pos;
+    }
+
+    // good vertices: fibres (under ϕ_H) of τ*-typed H vertices
+    let und_h = h.digraph.underlying_simple();
+    let good_h: Vec<bool> = (0..nh)
+        .map(|a| {
+            ordered_lnbhd_in(&h.digraph, &und_h, &h.rank, a, h.radius) == h.tau_star
+        })
+        .collect();
+    let good: Vec<bool> = (0..nh * ng).map(|x| good_h[x / ng]).collect();
+
+    let out = HomogeneousLift { lift, phi, rank, good, radius: h.radius };
+    verify_lift(&out, g, h)?;
+    Ok(out)
+}
+
+fn verify_lift(
+    c: &HomogeneousLift,
+    _g: &LDigraph,
+    h: &HomogeneousGraph,
+) -> Result<(), CoreError> {
+    // girth inherited from H (check near one good vertex and node 0; the
+    // product need not be vertex-transitive, so spot-check a sample)
+    let und = c.lift.underlying_simple();
+    let bound = 2 * h.radius + 1;
+    let n = c.lift.node_count();
+    let stride = (n / 97).max(1);
+    for v in (0..n).step_by(stride) {
+        if und.cycle_near_root(v, bound) {
+            return Err(CoreError::VerificationFailed {
+                property: format!("lift girth > {bound} (cycle near {v})"),
+            });
+        }
+    }
+    // good fraction ≥ H's homogeneous fraction
+    if c.good_fraction() < h.fraction() {
+        return Err(CoreError::VerificationFailed {
+            property: "good fraction below H's homogeneous fraction".into(),
+        });
+    }
+    // on good vertices the ordered neighbourhood is an ordered subtree of
+    // τ*: operationally, the view is a tree and the order of any two ball
+    // vertices (walk endpoints) agrees with the U-order of the walks.
+    let u = IterGroup::infinite(h.level)
+        .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
+    let mut checked = 0usize;
+    for v in (0..n).step_by(stride) {
+        if !c.good[v] {
+            continue;
+        }
+        let tree = view(&c.lift, v, h.radius);
+        let words = tree.words();
+        // endpoints of the walks in the lift
+        let mut endpoints = Vec::with_capacity(words.len());
+        for w in &words {
+            let mut x = v;
+            for l in w.letters() {
+                x = follow(&c.lift, x, *l).ok_or_else(|| CoreError::VerificationFailed {
+                    property: "walk leaves the lift".into(),
+                })?;
+            }
+            endpoints.push(x);
+        }
+        // distinct endpoints (tree-ness) and order agreement
+        for i in 0..words.len() {
+            for j in (i + 1)..words.len() {
+                if endpoints[i] == endpoints[j] {
+                    return Err(CoreError::VerificationFailed {
+                        property: format!("walks {} and {} collide", words[i], words[j]),
+                    });
+                }
+                let lift_order = c.rank[endpoints[i]] < c.rank[endpoints[j]];
+                let u_i = eval_word(&u, &h.gens, &words[i]);
+                let u_j = eval_word(&u, &h.gens, &words[j]);
+                let u_order = u.cmp_order(&u_i, &u_j) == std::cmp::Ordering::Less;
+                if lift_order != u_order {
+                    return Err(CoreError::VerificationFailed {
+                        property: format!(
+                            "order of walks {} and {} disagrees with τ*",
+                            words[i], words[j]
+                        ),
+                    });
+                }
+            }
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(CoreError::VerificationFailed { property: "no good vertex sampled".into() });
+    }
+    Ok(())
+}
+
+fn follow(d: &LDigraph, v: usize, l: Letter) -> Option<usize> {
+    if l.inverse {
+        d.in_neighbor(v, l.label)
+    } else {
+        d.out_neighbor(v, l.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogeneous::construct;
+    use locap_graph::gen;
+    use locap_lifts::view_census;
+
+    #[test]
+    fn lift_of_directed_triangle() {
+        // G = directed triangle (|L| = 1), H = Thm 3.2 graph with k = 1.
+        let g = gen::directed_cycle(3);
+        let h = construct(1, 1, 6).unwrap();
+        let c = homogeneous_lift(&g, &h).unwrap();
+        assert_eq!(c.node_count(), 216 * 3);
+        assert!(c.good_fraction() >= h.fraction());
+        // every lift vertex has the same view as its ϕ-image
+        for v in (0..c.node_count()).step_by(37) {
+            assert_eq!(view(&c.lift, v, 1), view(&g, c.phi.image(v), 1));
+        }
+    }
+
+    #[test]
+    fn lift_alphabet_mismatch_rejected() {
+        let g = locap_graph::product::toroidal(2, 4); // |L| = 2
+        let h = construct(1, 1, 6).unwrap(); // |L| = 1
+        assert!(matches!(
+            homogeneous_lift(&g, &h),
+            Err(CoreError::BadParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn lift_of_toroidal_grid_k2() {
+        let g = locap_graph::product::toroidal(2, 3); // 9 nodes, |L| = 2, girth 3
+        let h = construct(2, 1, 6).unwrap();
+        let c = homogeneous_lift(&g, &h).unwrap();
+        // the lift has girth > 3 even though G has girth 3
+        let und = c.lift.underlying_simple();
+        assert!(!und.cycle_near_root(0, 3));
+        // PO-invariance: the view census of the lift matches G's (one class)
+        assert_eq!(view_census(&g, 1).len(), 1);
+        let census = view_census(&c.lift, 1);
+        assert_eq!(census.len(), 1, "lift views collapse to G's single view class");
+    }
+
+    #[test]
+    fn eval_word_basics() {
+        let u = IterGroup::infinite(2).unwrap();
+        let gens = vec![vec![1i64, 0, 0]];
+        let w = Word::from_letters([Letter::pos(0), Letter::pos(0)]);
+        assert_eq!(eval_word(&u, &gens, &w), vec![2, 0, 0]);
+        let w_inv = Word::from_letters([Letter::neg(0)]);
+        assert_eq!(eval_word(&u, &gens, &w_inv), vec![-1, 0, 0]);
+        assert_eq!(eval_word(&u, &gens, &Word::empty()), vec![0, 0, 0]);
+    }
+}

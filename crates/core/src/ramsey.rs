@@ -1,0 +1,356 @@
+//! The Ramsey ID → OI step — **§4.2** of the paper.
+//!
+//! The paper colours every t-subset `S` of the identifier space by the
+//! *behaviour* of the ID algorithm `A` when the identifiers of the
+//! order-homogeneous tree `(T*, <*, λ)` are drawn from `S` in order:
+//! `c(S)(W) := A(f_{W,S}((T*, λ) ↾ W))`. Ramsey's theorem gives arbitrarily
+//! large monochromatic sets `J`; *inside `J`, `A` cannot react to the
+//! numeric values of the identifiers at all* — it behaves like an OI
+//! algorithm, and the OI → PO machinery applies.
+//!
+//! The paper's Ramsey numbers are astronomically large, but the
+//! construction itself is finite and exact: [`monochromatic_subset`]
+//! searches a concrete identifier universe for a `J` on which a concrete
+//! colouring is monochromatic, and [`OiFromId`] is the induced OI
+//! algorithm `B` (evaluate `A` with identifiers drawn from `J` in order).
+//! DESIGN.md substitution #2 records the scope: for toy parameters (paths
+//! and cycles: `t = 2r + 1`, one relevant `W`) the search is fast and the
+//! resulting `B` provably agrees with `A` on every neighbourhood whose
+//! identifiers come from `J`.
+
+use std::collections::BTreeSet;
+
+use locap_graph::canon::{IdNbhd, OrderedNbhd};
+use locap_models::{IdVertexAlgorithm, OiVertexAlgorithm};
+
+use crate::CoreError;
+
+/// Searches `universe` for an `m`-subset `J` all of whose `t`-subsets have
+/// the same colour. Returns `(J, colour)` on success.
+///
+/// The search is exact (DFS with incremental consistency checks); its cost
+/// grows quickly with `t` and `m`, matching the combinatorial reality the
+/// paper leans on.
+pub fn monochromatic_subset<C, F>(
+    color: &mut F,
+    universe: &[u64],
+    t: usize,
+    m: usize,
+) -> Option<(Vec<u64>, C)>
+where
+    C: Eq + Clone,
+    F: FnMut(&[u64]) -> C,
+{
+    if m < t || universe.len() < m {
+        return None;
+    }
+    let mut sorted: Vec<u64> = universe.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    fn extend<C: Eq + Clone>(
+        sorted: &[u64],
+        start: usize,
+        partial: &mut Vec<u64>,
+        expected: &mut Option<C>,
+        color: &mut impl FnMut(&[u64]) -> C,
+        t: usize,
+        m: usize,
+    ) -> bool {
+        if partial.len() == m {
+            return true;
+        }
+        for i in start..sorted.len() {
+            if sorted.len() - i < m - partial.len() {
+                break;
+            }
+            let saved = expected.clone();
+            partial.push(sorted[i]);
+            // check every new t-subset (those containing the new element)
+            let ok = if partial.len() < t {
+                true
+            } else {
+                all_t_subsets_with_last(partial, t, |s| {
+                    let c = color(s);
+                    match expected {
+                        None => {
+                            *expected = Some(c);
+                            true
+                        }
+                        Some(e) => *e == c,
+                    }
+                })
+            };
+            if ok && extend(sorted, i + 1, partial, expected, color, t, m) {
+                return true;
+            }
+            partial.pop();
+            *expected = saved;
+        }
+        false
+    }
+
+    let mut partial = Vec::new();
+    let mut expected: Option<C> = None;
+    if extend(&sorted, 0, &mut partial, &mut expected, color, t, m) {
+        let c = expected.unwrap_or_else(|| color(&partial[..t]));
+        Some((partial, c))
+    } else {
+        None
+    }
+}
+
+/// Calls `f` on every `t`-subset of `set` that contains the last element;
+/// returns whether all calls returned `true`.
+fn all_t_subsets_with_last(set: &[u64], t: usize, mut f: impl FnMut(&[u64]) -> bool) -> bool {
+    let last = *set.last().expect("non-empty set");
+    let rest = &set[..set.len() - 1];
+    let mut idx: Vec<usize> = (0..t - 1).collect();
+    if rest.len() < t - 1 {
+        return true;
+    }
+    loop {
+        let mut subset: Vec<u64> = idx.iter().map(|&i| rest[i]).collect();
+        subset.push(last);
+        subset.sort_unstable();
+        if !f(&subset) {
+            return false;
+        }
+        // advance combination
+        let mut i = t - 1;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if idx[i] + 1 <= rest.len() - (t - 1 - i) {
+                idx[i] += 1;
+                for j in i + 1..t - 1 {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The OI algorithm `B` induced by an ID algorithm `A` and an identifier
+/// pool `J`: evaluate `A` with the `|ball|` smallest members of `J`
+/// assigned to the ball in order (the paper's `f_{W,S}` with `S ⊆ J`).
+#[derive(Debug, Clone)]
+pub struct OiFromId<A> {
+    id_algo: A,
+    pool: Vec<u64>,
+}
+
+impl<A> OiFromId<A> {
+    /// Wraps `id_algo` with the identifier pool `j` (sorted, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is empty.
+    pub fn new(id_algo: A, j: &[u64]) -> Result<OiFromId<A>, CoreError> {
+        let mut pool: Vec<u64> = j.to_vec();
+        pool.sort_unstable();
+        pool.dedup();
+        if pool.is_empty() {
+            return Err(CoreError::BadParameters { reason: "empty identifier pool".into() });
+        }
+        Ok(OiFromId { id_algo, pool })
+    }
+
+    /// The pool `J`.
+    pub fn pool(&self) -> &[u64] {
+        &self.pool
+    }
+}
+
+impl<A: IdVertexAlgorithm> OiVertexAlgorithm for OiFromId<A> {
+    fn radius(&self) -> usize {
+        self.id_algo.radius()
+    }
+
+    fn evaluate(&self, t: &OrderedNbhd) -> bool {
+        let n = t.n as usize;
+        assert!(
+            n <= self.pool.len(),
+            "identifier pool too small: ball has {n} nodes, pool {}",
+            self.pool.len()
+        );
+        let nbhd = IdNbhd {
+            ids: self.pool[..n].to_vec(),
+            root: t.root,
+            edges: t.edges.clone(),
+        };
+        self.id_algo.evaluate(&nbhd)
+    }
+}
+
+/// The colouring of §4.2 specialised to cycles: for a t-subset `S`
+/// (`t = 2r + 1`), run `A` at the centre of a path ball whose identifiers
+/// are `S` in increasing order along the path — that is `f_{W,S}` applied
+/// to the homogeneity type of the ordered cycle.
+pub fn cycle_tstar_color<A: IdVertexAlgorithm>(algo: &A, s: &[u64]) -> bool {
+    let t = s.len();
+    assert!(t % 2 == 1, "t = 2r + 1 must be odd");
+    let mut ids = s.to_vec();
+    ids.sort_unstable();
+    let edges: Vec<(u32, u32)> = (0..t - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+    let nbhd = IdNbhd { ids, root: (t / 2) as u32, edges };
+    algo.evaluate(&nbhd)
+}
+
+/// End-to-end §4.2 for cycles: find a monochromatic `J ⊆ universe` for the
+/// colouring of `algo` at radius `r`, and return the induced OI algorithm
+/// together with `J` and the forced output bit.
+pub fn ramsey_cycle_transfer<A>(
+    algo: A,
+    universe: &[u64],
+    r: usize,
+    m: usize,
+) -> Option<(OiFromId<A>, Vec<u64>, bool)>
+where
+    A: IdVertexAlgorithm + Clone,
+{
+    let t = 2 * r + 1;
+    let algo_ref = algo.clone();
+    let mut color = move |s: &[u64]| cycle_tstar_color(&algo_ref, s);
+    let (j, bit) = monochromatic_subset(&mut color, universe, t, m)?;
+    let oi = OiFromId::new(algo, &j).ok()?;
+    Some((oi, j, bit))
+}
+
+/// Checks that `A` behaves order-invariantly on identifier assignments
+/// drawn from `J`: for every `t`-subset used as a window, the colour is
+/// the monochromatic one.
+pub fn verify_monochromatic<A: IdVertexAlgorithm>(
+    algo: &A,
+    j: &[u64],
+    r: usize,
+    expected: bool,
+) -> bool {
+    let t = 2 * r + 1;
+    let sorted: BTreeSet<u64> = j.iter().copied().collect();
+    let v: Vec<u64> = sorted.into_iter().collect();
+    // exhaustively test all t-subsets
+    fn rec<A: IdVertexAlgorithm>(
+        v: &[u64],
+        start: usize,
+        cur: &mut Vec<u64>,
+        t: usize,
+        algo: &A,
+        expected: bool,
+    ) -> bool {
+        if cur.len() == t {
+            return cycle_tstar_color(algo, cur) == expected;
+        }
+        for i in start..v.len() {
+            cur.push(v[i]);
+            if !rec(v, i + 1, cur, t, algo, expected) {
+                return false;
+            }
+            cur.pop();
+        }
+        true
+    }
+    rec(&v, 0, &mut Vec::new(), t, algo, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Order-invariant: joins iff the centre is the ball's id-maximum.
+    #[derive(Clone)]
+    struct LocalMax;
+    impl IdVertexAlgorithm for LocalMax {
+        fn radius(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, t: &IdNbhd) -> bool {
+            t.root as usize == t.ids.len() - 1
+        }
+    }
+
+    /// Value-sensitive: joins iff the centre's identifier is even.
+    #[derive(Clone)]
+    struct EvenId;
+    impl IdVertexAlgorithm for EvenId {
+        fn radius(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, t: &IdNbhd) -> bool {
+            t.ids[t.root as usize] % 2 == 0
+        }
+    }
+
+    #[test]
+    fn invariant_algorithm_everything_monochromatic() {
+        let universe: Vec<u64> = (1..=30).collect();
+        let (oi, j, bit) = ramsey_cycle_transfer(LocalMax, &universe, 1, 10).unwrap();
+        assert_eq!(j.len(), 10);
+        // centre of an increasing path is never the maximum
+        assert!(!bit);
+        assert!(verify_monochromatic(&LocalMax, &j, 1, bit));
+        assert_eq!(oi.pool().len(), 10);
+    }
+
+    #[test]
+    fn value_sensitive_algorithm_forced_invariant_inside_j() {
+        // EvenId's colour is the parity of the middle element; Ramsey finds
+        // a J whose middles all share parity (e.g. all-even J works).
+        let universe: Vec<u64> = (1..=40).collect();
+        let (_, j, bit) = ramsey_cycle_transfer(EvenId, &universe, 1, 8).unwrap();
+        assert!(verify_monochromatic(&EvenId, &j, 1, bit));
+        // inside J the algorithm *is* order-invariant even though it is not
+        // globally: every t-window gives the same output
+    }
+
+    #[test]
+    fn monochromatic_subset_simple_coloring() {
+        // colour = sum mod 2; J of all-even numbers is monochromatic
+        let mut color = |s: &[u64]| s.iter().sum::<u64>() % 2;
+        let universe: Vec<u64> = (1..=20).collect();
+        let (j, c) = monochromatic_subset(&mut color, &universe, 2, 6).unwrap();
+        assert_eq!(j.len(), 6);
+        // verify by hand
+        for i in 0..6 {
+            for k in (i + 1)..6 {
+                assert_eq!((j[i] + j[k]) % 2, c);
+            }
+        }
+    }
+
+    #[test]
+    fn no_subset_when_universe_too_small() {
+        let mut color = |s: &[u64]| s.iter().sum::<u64>() % 2;
+        assert!(monochromatic_subset(&mut color, &[1, 2, 3], 2, 5).is_none());
+    }
+
+    #[test]
+    fn constant_coloring_takes_prefix() {
+        let mut color = |_: &[u64]| 0u8;
+        let universe: Vec<u64> = (1..=10).collect();
+        let (j, _) = monochromatic_subset(&mut color, &universe, 3, 7).unwrap();
+        assert_eq!(j, (1..=7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn oi_from_id_matches_id_on_pool_windows() {
+        let j: Vec<u64> = vec![2, 4, 6, 8, 10];
+        let oi = OiFromId::new(LocalMax, &j).unwrap();
+        // an ordered path ball of 3 nodes with root at position 2
+        let nbhd = OrderedNbhd { n: 3, root: 2, edges: vec![(0, 1), (1, 2)] };
+        assert!(oi.evaluate(&nbhd), "root is order-max so LocalMax joins");
+        let nbhd = OrderedNbhd { n: 3, root: 1, edges: vec![(0, 1), (1, 2)] };
+        assert!(!oi.evaluate(&nbhd));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool too small")]
+    fn pool_too_small_panics() {
+        let oi = OiFromId::new(LocalMax, &[5]).unwrap();
+        let nbhd = OrderedNbhd { n: 3, root: 1, edges: vec![(0, 1), (1, 2)] };
+        let _ = oi.evaluate(&nbhd);
+    }
+}

@@ -1,0 +1,340 @@
+//! BFS balls, distances, girth, connectivity — the metric structure used to
+//! extract radius-`r` neighbourhoods τ(G, v) (paper §2.2).
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+impl Graph {
+    /// Distances from `src` up to `radius` (`None` beyond the radius or
+    /// unreachable). `radius = usize::MAX` computes full BFS distances.
+    pub fn distances_from(&self, src: NodeId, radius: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.node_count()];
+        let mut q = VecDeque::new();
+        dist[src] = Some(0);
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            let d = dist[v].expect("queued nodes have distances");
+            if d == radius {
+                continue;
+            }
+            for &u in self.neighbors(v) {
+                if dist[u].is_none() {
+                    dist[u] = Some(d + 1);
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The radius-`r` ball `B_G(v, r)` as a sorted vertex list (paper §2.2).
+    ///
+    /// ```
+    /// use locap_graph::gen;
+    /// let g = gen::cycle(8);
+    /// assert_eq!(g.ball(0, 2), vec![0, 1, 2, 6, 7]);
+    /// ```
+    pub fn ball(&self, v: NodeId, r: usize) -> Vec<NodeId> {
+        let dist = self.distances_from(v, r);
+        (0..self.node_count()).filter(|&u| dist[u].is_some()).collect()
+    }
+
+    /// Exact distance between two nodes, if connected.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.distances_from(u, usize::MAX)[v]
+    }
+
+    /// The radius-`r` ball as a sorted vertex list, computed with a local
+    /// hash-map BFS — `O(|ball|)` instead of `O(n)`, for censuses over
+    /// large graphs.
+    pub fn ball_local(&self, v: NodeId, r: usize) -> Vec<NodeId> {
+        let mut dist: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut q = VecDeque::new();
+        dist.insert(v, 0);
+        q.push_back(v);
+        while let Some(x) = q.pop_front() {
+            let d = dist[&x];
+            if d == r {
+                continue;
+            }
+            for &u in self.neighbors(x) {
+                if !dist.contains_key(&u) {
+                    dist.insert(u, d + 1);
+                    q.push_back(u);
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = dist.into_keys().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether some cycle of length ≤ `bound` passes near `root`
+    /// (detected by a single truncated BFS). For **vertex-transitive**
+    /// graphs, `!cycle_near_root(root, bound)` for any one root implies
+    /// `girth > bound`; this is the `O(|ball|)` girth check used on large
+    /// Cayley graphs.
+    pub fn cycle_near_root(&self, root: NodeId, bound: usize) -> bool {
+        let half = bound / 2 + 1;
+        let mut dist: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut parent: std::collections::HashMap<NodeId, NodeId> =
+            std::collections::HashMap::new();
+        let mut q = VecDeque::new();
+        dist.insert(root, 0);
+        q.push_back(root);
+        while let Some(v) = q.pop_front() {
+            let dv = dist[&v];
+            if dv >= half {
+                continue;
+            }
+            for &u in self.neighbors(v) {
+                match dist.get(&u) {
+                    None => {
+                        dist.insert(u, dv + 1);
+                        parent.insert(u, v);
+                        q.push_back(u);
+                    }
+                    Some(&du) => {
+                        if parent.get(&v) != Some(&u) && dv + du + 1 <= bound {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        self.distances_from(0, usize::MAX).iter().all(Option::is_some)
+    }
+
+    /// Connected components as sorted vertex lists, ordered by smallest node.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            seen[s] = true;
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                comp.push(v);
+                for &u in self.neighbors(v) {
+                    if !seen[u] {
+                        seen[u] = true;
+                        q.push_back(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// The girth (length of a shortest cycle), or `None` for forests.
+    ///
+    /// Runs a BFS from every vertex and detects the first non-tree edge;
+    /// exact for simple graphs. `O(n · m)`.
+    ///
+    /// ```
+    /// use locap_graph::gen;
+    /// assert_eq!(gen::cycle(9).girth(), Some(9));
+    /// assert_eq!(gen::complete(4).girth(), Some(3));
+    /// assert_eq!(gen::path(9).girth(), None);
+    /// ```
+    pub fn girth(&self) -> Option<usize> {
+        let n = self.node_count();
+        let mut best: Option<usize> = None;
+        for s in 0..n {
+            // BFS from s; a non-tree edge {v, u} (u already visited, u is not
+            // v's BFS parent) closes a cycle of length dist[v] + dist[u] + 1
+            // through s. The minimum over all roots is exact.
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            let mut q = VecDeque::new();
+            dist[s] = 0;
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                if let Some(b) = best {
+                    // Cycles through s found from deeper layers cannot be
+                    // shorter than 2*dist[v], so we can prune.
+                    if 2 * dist[v] >= b {
+                        break;
+                    }
+                }
+                for &u in self.neighbors(v) {
+                    if dist[u] == usize::MAX {
+                        dist[u] = dist[v] + 1;
+                        parent[u] = v;
+                        q.push_back(u);
+                    } else if parent[v] != u {
+                        let len = dist[v] + dist[u] + 1;
+                        if best.map_or(true, |b| len < b) {
+                            best = Some(len);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether the girth is strictly greater than `g` (vacuously true for
+    /// forests). Faster than [`Graph::girth`] when only a bound is needed:
+    /// BFS is truncated at depth `g / 2 + 1`.
+    pub fn girth_exceeds(&self, g: usize) -> bool {
+        let n = self.node_count();
+        let half = g / 2 + 1;
+        for s in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            let mut q = VecDeque::new();
+            dist[s] = 0;
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                if dist[v] >= half {
+                    continue;
+                }
+                for &u in self.neighbors(v) {
+                    if dist[u] == usize::MAX {
+                        dist[u] = dist[v] + 1;
+                        parent[u] = v;
+                        q.push_back(u);
+                    } else if parent[v] != u && dist[v] + dist[u] + 1 <= g {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The diameter of a connected graph; `None` if disconnected or empty.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        for s in 0..n {
+            let dist = self.distances_from(s, usize::MAX);
+            for d in &dist {
+                match d {
+                    None => return None,
+                    Some(x) => best = best.max(*x),
+                }
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gen;
+    use crate::Graph;
+
+    #[test]
+    fn distances_and_balls() {
+        let g = gen::cycle(10);
+        let d = g.distances_from(0, usize::MAX);
+        assert_eq!(d[5], Some(5));
+        assert_eq!(d[9], Some(1));
+        let d2 = g.distances_from(0, 2);
+        assert_eq!(d2[2], Some(2));
+        assert_eq!(d2[3], None);
+        assert_eq!(g.ball(0, 1), vec![0, 1, 9]);
+        assert_eq!(g.distance(0, 5), Some(5));
+    }
+
+    #[test]
+    fn disconnected_distance() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.distance(0, 2), None);
+        assert!(!g.is_connected());
+        assert_eq!(g.components(), vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn girth_cycles_and_cliques() {
+        for n in 3..12 {
+            assert_eq!(gen::cycle(n).girth(), Some(n), "cycle C_{n}");
+        }
+        assert_eq!(gen::complete(3).girth(), Some(3));
+        assert_eq!(gen::complete(5).girth(), Some(3));
+        assert_eq!(gen::complete_bipartite(2, 2).girth(), Some(4));
+        assert_eq!(gen::complete_bipartite(3, 3).girth(), Some(4));
+        assert_eq!(gen::path(6).girth(), None);
+        assert_eq!(gen::star(5).girth(), None);
+        assert_eq!(gen::petersen().girth(), Some(5));
+        assert_eq!(gen::hypercube(3).girth(), Some(4));
+    }
+
+    #[test]
+    fn girth_exceeds_matches_girth() {
+        let cases = [gen::cycle(7), gen::complete(5), gen::petersen(), gen::path(5)];
+        for g in &cases {
+            for bound in 0..12 {
+                let expect = match g.girth() {
+                    None => true,
+                    Some(gi) => gi > bound,
+                };
+                assert_eq!(g.girth_exceeds(bound), expect, "bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_examples() {
+        assert_eq!(gen::cycle(10).diameter(), Some(5));
+        assert_eq!(gen::path(5).diameter(), Some(4));
+        assert_eq!(gen::complete(6).diameter(), Some(1));
+        assert_eq!(gen::petersen().diameter(), Some(2));
+    }
+
+    #[test]
+    fn ball_local_matches_ball() {
+        for g in [gen::cycle(12), gen::petersen(), gen::hypercube(4), gen::grid(4, 5)] {
+            for v in [0usize, 3, 7] {
+                for r in 0..4 {
+                    assert_eq!(g.ball_local(v, r), g.ball(v, r), "v={v}, r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_near_root_on_transitive_graphs() {
+        // On vertex-transitive graphs the one-root check matches girth.
+        let cases = [(gen::cycle(9), 9usize), (gen::petersen(), 5), (gen::hypercube(3), 4)];
+        for (g, girth) in cases {
+            for bound in 0..12 {
+                assert_eq!(
+                    g.cycle_near_root(0, bound),
+                    bound >= girth,
+                    "girth {girth}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn girth_two_triangles_sharing_vertex() {
+        // girth must find the 3-cycle even with overlapping cycles
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(g.girth(), Some(3));
+    }
+}

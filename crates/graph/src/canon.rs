@@ -1,0 +1,349 @@
+//! Canonical encodings of radius-`r` neighbourhoods.
+//!
+//! The paper compares neighbourhoods up to isomorphism in three flavours:
+//!
+//! * τ(G, v) with unique identifiers (**ID**, §2.3) — the identifiers make
+//!   the structure rigid, so sorting vertices by identifier yields a
+//!   canonical form ([`IdNbhd`]);
+//! * τ(G, <, v) with a linear order (**OI**, §2.4) — an order-preserving
+//!   isomorphism between two ordered neighbourhoods is unique if it exists
+//!   (it must match the `i`-th smallest vertex with the `i`-th smallest),
+//!   so sorting vertices by the order again yields a canonical form
+//!   ([`OrderedNbhd`], [`OrderedLNbhd`]);
+//! * port-numbered views (**PO**, §2.5) — trees, canonicalised in
+//!   `locap-lifts`.
+//!
+//! In every case, **isomorphism is exactly equality of the canonical
+//! encodings**, so no search is involved.
+
+use crate::{Graph, LDigraph, NodeId};
+
+/// Canonical form of an *ordered* radius-`r` neighbourhood τ(G, <, v) of an
+/// undirected graph.
+///
+/// Vertices of the ball are renamed `0..n` in increasing order; `root` is
+/// the new name of the centre; `edges` lists all edges of the induced
+/// subgraph (normalised `(i, j)` with `i < j`, sorted). Two ordered
+/// neighbourhoods are isomorphic iff their canonical forms are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrderedNbhd {
+    /// Number of vertices in the ball.
+    pub n: u32,
+    /// Position of the centre vertex in the sorted ball.
+    pub root: u32,
+    /// Induced edges between sorted-ball positions, `(i, j)` with `i < j`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Computes the canonical ordered neighbourhood τ(G, <, v) of radius `r`.
+///
+/// `rank[u]` must be the position of `u` in the linear order (see
+/// [`crate::OrderedGraph`]).
+///
+/// # Examples
+///
+/// ```
+/// use locap_graph::{canon, gen};
+///
+/// let g = gen::cycle(8);
+/// let rank: Vec<usize> = (0..8).collect();
+/// // interior nodes 2..=5 all have the same ordered 1-neighbourhood type
+/// let t3 = canon::ordered_nbhd(&g, &rank, 3, 1);
+/// let t4 = canon::ordered_nbhd(&g, &rank, 4, 1);
+/// assert_eq!(t3, t4);
+/// // ...but node 0 sees the "seam" (its neighbours are 1 and 7)
+/// let t0 = canon::ordered_nbhd(&g, &rank, 0, 1);
+/// assert_ne!(t0, t3);
+/// ```
+pub fn ordered_nbhd(g: &Graph, rank: &[usize], v: NodeId, r: usize) -> OrderedNbhd {
+    let mut ball = g.ball_local(v, r);
+    ball.sort_by_key(|&u| rank[u]);
+    let pos = |u: NodeId| -> u32 {
+        ball.iter().position(|&x| x == u).expect("ball members have positions") as u32
+    };
+    let root = pos(v);
+    let mut edges = Vec::new();
+    for (i, &a) in ball.iter().enumerate() {
+        for &b in g.neighbors(a) {
+            if let Some(j) = ball.iter().position(|&x| x == b) {
+                if i < j {
+                    edges.push((i as u32, j as u32));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    OrderedNbhd { n: ball.len() as u32, root, edges }
+}
+
+/// Canonical form of an ordered radius-`r` neighbourhood of an
+/// [`LDigraph`]: like [`OrderedNbhd`] but edges are directed and labelled.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrderedLNbhd {
+    /// Number of vertices in the ball.
+    pub n: u32,
+    /// Position of the centre vertex in the sorted ball.
+    pub root: u32,
+    /// Induced directed labelled edges `(from, to, label)` between
+    /// sorted-ball positions, sorted.
+    pub edges: Vec<(u32, u32, u32)>,
+}
+
+/// Computes the canonical ordered neighbourhood of `v` in an L-digraph,
+/// where distance is measured in the underlying undirected graph.
+pub fn ordered_lnbhd(d: &LDigraph, rank: &[usize], v: NodeId, r: usize) -> OrderedLNbhd {
+    let und = d.underlying_simple();
+    ordered_lnbhd_in(d, &und, rank, v, r)
+}
+
+/// Like [`ordered_lnbhd`] but with a precomputed underlying graph and a
+/// local-BFS ball: `O(|ball|)` per call, for exact censuses over large
+/// graphs.
+pub fn ordered_lnbhd_in(
+    d: &LDigraph,
+    und: &Graph,
+    rank: &[usize],
+    v: NodeId,
+    r: usize,
+) -> OrderedLNbhd {
+    let mut ball = und.ball_local(v, r);
+    ball.sort_by_key(|&u| rank[u]);
+    let root = ball.iter().position(|&x| x == v).expect("centre is in its ball") as u32;
+    let mut index = std::collections::HashMap::new();
+    for (i, &u) in ball.iter().enumerate() {
+        index.insert(u, i as u32);
+    }
+    let mut edges = Vec::new();
+    for &a in &ball {
+        for e in d.out_edges(a) {
+            if let Some(&j) = index.get(&e.to) {
+                edges.push((index[&a], j, e.label as u32));
+            }
+        }
+    }
+    edges.sort_unstable();
+    OrderedLNbhd { n: ball.len() as u32, root, edges }
+}
+
+/// Canonical form of an **ID**-model radius-`r` neighbourhood τ(G, v):
+/// the ball sorted by identifier, with the identifier values retained.
+///
+/// Two ID neighbourhoods are equal iff there is an isomorphism preserving
+/// the identifiers — which, identifiers being unique, is unique and must
+/// match sorted positions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdNbhd {
+    /// Identifier values in increasing order.
+    pub ids: Vec<u64>,
+    /// Position of the centre vertex in the sorted ball.
+    pub root: u32,
+    /// Induced edges between sorted-ball positions, `(i, j)` with `i < j`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl IdNbhd {
+    /// Forgets the identifier *values*, keeping only their relative order:
+    /// the canonical ordered neighbourhood seen by an OI algorithm. This is
+    /// the collapse at the heart of the ID = OI step (paper §4.2).
+    pub fn order_collapse(&self) -> OrderedNbhd {
+        OrderedNbhd { n: self.ids.len() as u32, root: self.root, edges: self.edges.clone() }
+    }
+
+    /// Replaces the identifier values by images under an order-preserving
+    /// map `f` (must be strictly increasing on the current values).
+    pub fn relabel(&self, f: impl Fn(u64) -> u64) -> IdNbhd {
+        let ids: Vec<u64> = self.ids.iter().map(|&x| f(x)).collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "relabelling must preserve order");
+        IdNbhd { ids, root: self.root, edges: self.edges.clone() }
+    }
+}
+
+/// Computes the canonical ID neighbourhood τ(G, v) of radius `r` given the
+/// identifier assignment `ids[u]`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if identifiers in the ball are not distinct.
+pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
+    let mut ball = g.ball_local(v, r);
+    ball.sort_by_key(|&u| ids[u]);
+    debug_assert!(
+        ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]),
+        "identifiers must be unique"
+    );
+    let root = ball.iter().position(|&x| x == v).expect("centre is in its ball") as u32;
+    let mut edges = Vec::new();
+    for (i, &a) in ball.iter().enumerate() {
+        for &b in g.neighbors(a) {
+            if let Some(j) = ball.iter().position(|&x| x == b) {
+                if i < j {
+                    edges.push((i as u32, j as u32));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    IdNbhd { ids: ball.iter().map(|&u| ids[u]).collect(), root, edges }
+}
+
+/// Counts, for each distinct ordered neighbourhood type, how many vertices
+/// of `(g, rank)` have that type at radius `r`. Returns pairs
+/// `(type, count)` with the most frequent type first.
+///
+/// This is the exact census used to measure `(α, r)`-homogeneity
+/// (Definition 3.1): the graph is `(α, r)`-homogeneous with
+/// `α = max_count / n`.
+pub fn ordered_type_census(g: &Graph, rank: &[usize], r: usize) -> Vec<(OrderedNbhd, usize)> {
+    let mut counts: std::collections::HashMap<OrderedNbhd, usize> = std::collections::HashMap::new();
+    for v in g.nodes() {
+        *counts.entry(ordered_nbhd(g, rank, v, r)).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Like [`ordered_type_census`] but for L-digraphs (directed, labelled).
+pub fn ordered_ltype_census(
+    d: &LDigraph,
+    rank: &[usize],
+    r: usize,
+) -> Vec<(OrderedLNbhd, usize)> {
+    let und = d.underlying_simple();
+    let mut counts: std::collections::HashMap<OrderedLNbhd, usize> =
+        std::collections::HashMap::new();
+    for v in 0..d.node_count() {
+        *counts.entry(ordered_lnbhd_in(d, &und, rank, v, r)).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn identity_rank(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn cycle_interior_types_agree() {
+        let g = gen::cycle(10);
+        let rank = identity_rank(10);
+        // nodes 1..=8 have interior ordered 1-neighbourhoods: the sorted
+        // ball is [v-1, v, v+1] with the root in the middle.
+        let t = ordered_nbhd(&g, &rank, 2, 1);
+        for v in 1..=8 {
+            assert_eq!(ordered_nbhd(&g, &rank, v, 1), t, "node {v}");
+        }
+        // only the extreme-rank nodes see the seam at radius 1
+        assert_ne!(ordered_nbhd(&g, &rank, 0, 1), t);
+        assert_ne!(ordered_nbhd(&g, &rank, 9, 1), t);
+    }
+
+    #[test]
+    fn cycle_census_fractions() {
+        // On C_n with the identity order and r = 1 there are 3 types:
+        // interior (n-2 nodes) and the two extreme-rank seam nodes.
+        let g = gen::cycle(20);
+        let rank = identity_rank(20);
+        let census = ordered_type_census(&g, &rank, 1);
+        assert_eq!(census[0].1, 18);
+        assert_eq!(census.iter().map(|x| x.1).sum::<usize>(), 20);
+        assert_eq!(census.len(), 3);
+
+        // at radius 2 the seam is visible from 4 nodes
+        let census2 = ordered_type_census(&g, &rank, 2);
+        assert_eq!(census2[0].1, 16);
+    }
+
+    #[test]
+    fn root_position_matters() {
+        // A path 0-1-2: τ at 0 and τ at 2 (radius 1) are balls {0,1} and
+        // {1,2} with the root smallest resp. largest — different types.
+        let g = gen::path(3);
+        let rank = identity_rank(3);
+        let t0 = ordered_nbhd(&g, &rank, 0, 1);
+        let t2 = ordered_nbhd(&g, &rank, 2, 1);
+        assert_ne!(t0, t2);
+        assert_eq!(t0.n, 2);
+        assert_eq!(t0.root, 0);
+        assert_eq!(t2.root, 1);
+    }
+
+    #[test]
+    fn order_reversal_changes_types() {
+        let g = gen::path(5);
+        let fwd = identity_rank(5);
+        let rev: Vec<usize> = (0..5).map(|v| 4 - v).collect();
+        let a = ordered_nbhd(&g, &fwd, 1, 1);
+        let b = ordered_nbhd(&g, &rev, 3, 1);
+        // node 1 under forward order looks like node 3 under reversed order
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn id_nbhd_and_collapse() {
+        let g = gen::cycle(6);
+        let ids: Vec<u64> = vec![50, 10, 40, 20, 60, 30];
+        let t = id_nbhd(&g, &ids, 0, 1);
+        // ball {5, 0, 1} ids {30, 50, 10} sorted -> [10, 30, 50]; root=50 at pos 2
+        assert_eq!(t.ids, vec![10, 30, 50]);
+        assert_eq!(t.root, 2);
+        let o = t.order_collapse();
+        assert_eq!(o.n, 3);
+        assert_eq!(o.root, 2);
+
+        // An order-preserving relabelling leaves the collapse unchanged.
+        let t2 = t.relabel(|x| x * 100 + 7);
+        assert_eq!(t2.order_collapse(), o);
+        assert_ne!(t2, t);
+    }
+
+    #[test]
+    fn ldigraph_nbhd_labels_matter() {
+        let mut a = LDigraph::new(3, 2);
+        a.add_edge(0, 1, 0).unwrap();
+        a.add_edge(1, 2, 0).unwrap();
+        let mut b = LDigraph::new(3, 2);
+        b.add_edge(0, 1, 0).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let rank = identity_rank(3);
+        let ta = ordered_lnbhd(&a, &rank, 1, 1);
+        let tb = ordered_lnbhd(&b, &rank, 1, 1);
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn directed_cycle_census_identity_order() {
+        // Directed cycle, identity order: interior nodes share one type.
+        let d = gen::directed_cycle(12);
+        let rank = identity_rank(12);
+        let census = ordered_ltype_census(&d, &rank, 1);
+        assert_eq!(census[0].1, 10, "12 - 2 seam nodes");
+    }
+
+    #[test]
+    fn census_total_is_n() {
+        let g = gen::petersen();
+        let rank = identity_rank(10);
+        for r in 0..3 {
+            let census = ordered_type_census(&g, &rank, r);
+            assert_eq!(census.iter().map(|x| x.1).sum::<usize>(), 10);
+        }
+    }
+
+    #[test]
+    fn radius_zero_single_type() {
+        let g = gen::petersen();
+        let rank = identity_rank(10);
+        let census = ordered_type_census(&g, &rank, 0);
+        assert_eq!(census.len(), 1);
+        assert_eq!(census[0].1, 10);
+        assert_eq!(census[0].0.n, 1);
+    }
+}

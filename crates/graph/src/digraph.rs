@@ -1,0 +1,346 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// An edge label `ℓ ∈ L`; the alphabet is `0..alphabet_size`.
+pub type Label = usize;
+
+/// A directed labelled edge `from --label--> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirEdge {
+    /// Tail of the edge.
+    pub from: NodeId,
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Label `ℓ ∈ L`.
+    pub label: Label,
+}
+
+/// A *properly* `L`-edge-labelled directed graph (paper §2.5).
+///
+/// Properness means that at every node the incoming edges carry pairwise
+/// distinct labels and the outgoing edges carry pairwise distinct labels
+/// (an incoming and an outgoing edge may share a label). This invariant is
+/// enforced structurally: the representation stores, for each node and each
+/// label, at most one outgoing and at most one incoming edge.
+///
+/// L-digraphs model anonymous networks with a port numbering and
+/// orientation (**PO**): see [`crate::PortNumbering`] for deriving a proper
+/// labelling from port numbers as in Fig. 4, and Cayley graphs
+/// (`locap-groups`) for the generator-labelled case.
+///
+/// # Examples
+///
+/// ```
+/// use locap_graph::LDigraph;
+///
+/// // The directed triangle with a single label.
+/// let mut g = LDigraph::new(3, 1);
+/// g.add_edge(0, 1, 0).unwrap();
+/// g.add_edge(1, 2, 0).unwrap();
+/// g.add_edge(2, 0, 0).unwrap();
+/// assert!(g.is_label_complete());
+/// assert_eq!(g.out_neighbor(0, 0), Some(1));
+/// assert_eq!(g.in_neighbor(0, 0), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LDigraph {
+    labels: usize,
+    /// `out[v][l] = Some(u)` iff there is an edge `v --l--> u`.
+    out: Vec<Vec<Option<NodeId>>>,
+    /// `inn[v][l] = Some(u)` iff there is an edge `u --l--> v`.
+    inn: Vec<Vec<Option<NodeId>>>,
+}
+
+impl LDigraph {
+    /// Creates an edgeless L-digraph on `n` nodes with alphabet `0..labels`.
+    pub fn new(n: usize, labels: usize) -> LDigraph {
+        LDigraph {
+            labels,
+            out: vec![vec![None; labels]; n],
+            inn: vec![vec![None; labels]; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Size of the label alphabet `|L|`.
+    pub fn alphabet_size(&self) -> usize {
+        self.labels
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(|row| row.iter().flatten().count()).sum()
+    }
+
+    /// Adds the edge `from --label--> to`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an endpoint or the label is out of range, if `from == to`
+    /// (self-loop), or if the proper-labelling constraint would be violated.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: Label) -> Result<(), GraphError> {
+        let n = self.node_count();
+        if from >= n {
+            return Err(GraphError::NodeOutOfRange { node: from, n });
+        }
+        if to >= n {
+            return Err(GraphError::NodeOutOfRange { node: to, n });
+        }
+        if label >= self.labels {
+            return Err(GraphError::LabelOutOfRange { label, alphabet: self.labels });
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { node: from });
+        }
+        if self.out[from][label].is_some() {
+            return Err(GraphError::ImproperLabelling { node: from, label, outgoing: true });
+        }
+        if self.inn[to][label].is_some() {
+            return Err(GraphError::ImproperLabelling { node: to, label, outgoing: false });
+        }
+        self.out[from][label] = Some(to);
+        self.inn[to][label] = Some(from);
+        Ok(())
+    }
+
+    /// The head of the outgoing edge of `v` with `label`, if present.
+    pub fn out_neighbor(&self, v: NodeId, label: Label) -> Option<NodeId> {
+        self.out[v][label]
+    }
+
+    /// The tail of the incoming edge of `v` with `label`, if present.
+    pub fn in_neighbor(&self, v: NodeId, label: Label) -> Option<NodeId> {
+        self.inn[v][label]
+    }
+
+    /// All outgoing edges of `v` in label order.
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = DirEdge> + '_ {
+        self.out[v]
+            .iter()
+            .enumerate()
+            .filter_map(move |(l, &t)| t.map(|to| DirEdge { from: v, to, label: l }))
+    }
+
+    /// All incoming edges of `v` in label order.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = DirEdge> + '_ {
+        self.inn[v]
+            .iter()
+            .enumerate()
+            .filter_map(move |(l, &f)| f.map(|from| DirEdge { from, to: v, label: l }))
+    }
+
+    /// All directed edges, sorted by `(from, label)`.
+    pub fn edges(&self) -> impl Iterator<Item = DirEdge> + '_ {
+        (0..self.node_count()).flat_map(move |v| self.out_edges(v))
+    }
+
+    /// Total degree (in + out) of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out[v].iter().flatten().count() + self.inn[v].iter().flatten().count()
+    }
+
+    /// Whether every node has an outgoing **and** an incoming edge for every
+    /// label in the alphabet. Label-complete L-digraphs are `2|L|`-regular;
+    /// Cayley graphs and the homogeneous graphs of Thm 3.2 have this form.
+    pub fn is_label_complete(&self) -> bool {
+        self.out.iter().all(|row| row.iter().all(Option::is_some))
+            && self.inn.iter().all(|row| row.iter().all(Option::is_some))
+    }
+
+    /// The underlying simple undirected graph. Anti-parallel labelled edge
+    /// pairs collapse to a single undirected edge.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`GraphError::DuplicateEdge`] if two differently-labelled
+    /// directed edges connect the same pair of nodes (the underlying graph
+    /// would be a multigraph, which [`Graph`] does not model).
+    pub fn underlying(&self) -> Result<Graph, GraphError> {
+        let mut g = Graph::new(self.node_count());
+        for e in self.edges() {
+            if g.has_edge(e.from, e.to) {
+                return Err(GraphError::DuplicateEdge { u: e.from, v: e.to });
+            }
+            g.add_edge(e.from, e.to)?;
+        }
+        Ok(g)
+    }
+
+    /// Like [`LDigraph::underlying`], but collapses parallel edges silently.
+    /// Useful for metric queries (balls, girth bounds) on multigraph-like
+    /// L-digraphs.
+    pub fn underlying_simple(&self) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for e in self.edges() {
+            if !g.has_edge(e.from, e.to) {
+                g.add_edge(e.from, e.to).expect("checked above");
+            }
+        }
+        g
+    }
+
+    /// The disjoint union; nodes of `other` are shifted by `self.node_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn disjoint_union(&self, other: &LDigraph) -> LDigraph {
+        assert_eq!(self.labels, other.labels, "alphabets must agree");
+        let off = self.node_count();
+        let mut g = LDigraph::new(off + other.node_count(), self.labels);
+        for e in self.edges() {
+            g.add_edge(e.from, e.to, e.label).expect("valid by construction");
+        }
+        for e in other.edges() {
+            g.add_edge(e.from + off, e.to + off, e.label).expect("valid by construction");
+        }
+        g
+    }
+
+    /// The subgraph induced by `keep`; returns the graph and the map
+    /// `new index -> old index`.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (LDigraph, Vec<NodeId>) {
+        let mut order: Vec<NodeId> = keep.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        let mut pos = vec![usize::MAX; self.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        let mut g = LDigraph::new(order.len(), self.labels);
+        for &v in &order {
+            for e in self.out_edges(v) {
+                if pos[e.to] != usize::MAX {
+                    g.add_edge(pos[v], pos[e.to], e.label).expect("valid by construction");
+                }
+            }
+        }
+        (g, order)
+    }
+
+    /// Removes the edge `from --label--> to` if present; returns whether an
+    /// edge was removed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId, label: Label) -> bool {
+        if self.out[from].get(label).copied().flatten() == Some(to) {
+            self.out[from][label] = None;
+            self.inn[to][label] = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LDigraph {
+        let mut g = LDigraph::new(3, 1);
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 0).unwrap();
+        g.add_edge(2, 0, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn basics() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.alphabet_size(), 1);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_label_complete());
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], DirEdge { from: 0, to: 1, label: 0 });
+    }
+
+    #[test]
+    fn properness_enforced() {
+        let mut g = LDigraph::new(3, 2);
+        g.add_edge(0, 1, 0).unwrap();
+        // second out-edge with label 0 at node 0:
+        assert_eq!(
+            g.add_edge(0, 2, 0),
+            Err(GraphError::ImproperLabelling { node: 0, label: 0, outgoing: true })
+        );
+        // second in-edge with label 0 at node 1:
+        assert_eq!(
+            g.add_edge(2, 1, 0),
+            Err(GraphError::ImproperLabelling { node: 1, label: 0, outgoing: false })
+        );
+        // different label is fine:
+        g.add_edge(0, 2, 1).unwrap();
+        g.add_edge(2, 1, 1).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn range_checks() {
+        let mut g = LDigraph::new(2, 1);
+        assert!(matches!(g.add_edge(0, 5, 0), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(g.add_edge(5, 0, 0), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(g.add_edge(0, 1, 3), Err(GraphError::LabelOutOfRange { .. })));
+        assert!(matches!(g.add_edge(0, 0, 0), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn underlying_graph() {
+        let g = triangle();
+        let u = g.underlying().unwrap();
+        assert_eq!(u.edge_count(), 3);
+        assert!(u.is_regular(2));
+
+        // Anti-parallel pair collapses to one undirected edge.
+        let mut h = LDigraph::new(2, 2);
+        h.add_edge(0, 1, 0).unwrap();
+        h.add_edge(1, 0, 1).unwrap();
+        assert!(h.underlying().is_err(), "parallel edges in underlying graph");
+        assert_eq!(h.underlying_simple().edge_count(), 1);
+    }
+
+    #[test]
+    fn in_out_edges() {
+        let g = triangle();
+        let outs: Vec<_> = g.out_edges(1).collect();
+        assert_eq!(outs, vec![DirEdge { from: 1, to: 2, label: 0 }]);
+        let ins: Vec<_> = g.in_edges(1).collect();
+        assert_eq!(ins, vec![DirEdge { from: 0, to: 1, label: 0 }]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = triangle();
+        let u = g.disjoint_union(&g);
+        assert_eq!(u.node_count(), 6);
+        assert_eq!(u.edge_count(), 6);
+        assert_eq!(u.out_neighbor(3, 0), Some(4));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_labels() {
+        let mut g = LDigraph::new(4, 2);
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(2, 3, 0).unwrap();
+        let (h, map) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(h.out_neighbor(0, 1), Some(1));
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = triangle();
+        assert!(g.remove_edge(0, 1, 0));
+        assert!(!g.remove_edge(0, 1, 0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbor(0, 0), None);
+        assert_eq!(g.in_neighbor(1, 0), None);
+        assert!(!g.is_label_complete());
+    }
+}

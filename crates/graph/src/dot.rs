@@ -1,0 +1,67 @@
+//! DOT (Graphviz) export, for inspecting the constructed instances.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, LDigraph};
+
+/// Renders an undirected [`Graph`] in DOT format.
+///
+/// ```
+/// use locap_graph::{gen, graph_to_dot};
+/// let dot = graph_to_dot(&gen::path(2), "p2");
+/// assert!(dot.contains("graph p2"));
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn graph_to_dot(g: &Graph, name: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "graph {name} {{").expect("writing to String cannot fail");
+    for v in g.nodes() {
+        writeln!(s, "  {v};").expect("writing to String cannot fail");
+    }
+    for e in g.edges() {
+        writeln!(s, "  {} -- {};", e.u, e.v).expect("writing to String cannot fail");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders an [`LDigraph`] in DOT format with edge labels.
+pub fn digraph_to_dot(d: &LDigraph, name: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph {name} {{").expect("writing to String cannot fail");
+    for v in 0..d.node_count() {
+        writeln!(s, "  {v};").expect("writing to String cannot fail");
+    }
+    for e in d.edges() {
+        writeln!(s, "  {} -> {} [label=\"{}\"];", e.from, e.to, e.label)
+            .expect("writing to String cannot fail");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_graph_contains_all_edges() {
+        let g = gen::cycle(4);
+        let dot = graph_to_dot(&g, "c4");
+        assert!(dot.starts_with("graph c4 {"));
+        for e in g.edges() {
+            assert!(dot.contains(&format!("{} -- {};", e.u, e.v)));
+        }
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_digraph_contains_labels() {
+        let d = gen::directed_cycle(3);
+        let dot = digraph_to_dot(&d, "t");
+        assert!(dot.contains("digraph t {"));
+        assert!(dot.contains("0 -> 1 [label=\"0\"];"));
+        assert!(dot.contains("2 -> 0 [label=\"0\"];"));
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Errors arising from graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was supplied where simple graphs are required.
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// A duplicate edge was supplied.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// Other endpoint.
+        v: usize,
+    },
+    /// An edge label was out of range of the alphabet.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Alphabet size.
+        alphabet: usize,
+    },
+    /// A proper labelling constraint was violated: a node already has an
+    /// out-edge (or in-edge) with the given label.
+    ImproperLabelling {
+        /// Node at which the clash occurs.
+        node: usize,
+        /// The clashing label.
+        label: usize,
+        /// `true` if the clash is among outgoing edges.
+        outgoing: bool,
+    },
+    /// A port numbering was not a permutation of the incident edges.
+    BadPortNumbering {
+        /// Node with the invalid numbering.
+        node: usize,
+    },
+    /// An orientation did not cover each edge exactly once.
+    BadOrientation {
+        /// Description of the defect.
+        reason: String,
+    },
+    /// A vertex order was not a permutation of `0..n`.
+    BadOrder {
+        /// Description of the defect.
+        reason: String,
+    },
+    /// Construction parameters were invalid (e.g. odd degree sum).
+    BadParameters {
+        /// Description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::LabelOutOfRange { label, alphabet } => {
+                write!(f, "label {label} out of range for alphabet of size {alphabet}")
+            }
+            GraphError::ImproperLabelling { node, label, outgoing } => write!(
+                f,
+                "improper labelling: node {node} already has an {} edge with label {label}",
+                if *outgoing { "outgoing" } else { "incoming" }
+            ),
+            GraphError::BadPortNumbering { node } => {
+                write!(f, "port numbering at node {node} is not a permutation of its neighbours")
+            }
+            GraphError::BadOrientation { reason } => write!(f, "bad orientation: {reason}"),
+            GraphError::BadOrder { reason } => write!(f, "bad vertex order: {reason}"),
+            GraphError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains("node 7"));
+        let e = GraphError::SelfLoop { node: 1 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::ImproperLabelling { node: 0, label: 2, outgoing: true };
+        assert!(e.to_string().contains("outgoing"));
+        let e = GraphError::ImproperLabelling { node: 0, label: 2, outgoing: false };
+        assert!(e.to_string().contains("incoming"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(GraphError::BadParameters { reason: "x".into() });
+        assert!(e.to_string().contains("bad parameters"));
+    }
+}

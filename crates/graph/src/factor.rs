@@ -1,0 +1,233 @@
+//! 2-factorizations of 2k-regular graphs (Petersen's theorem,
+//! constructive).
+//!
+//! Every 2k-regular graph orients into an Eulerian orientation with
+//! in-degree = out-degree = k (Hierholzer per component), and the directed
+//! edges then form a k-regular bipartite graph between out-sides and
+//! in-sides, which splits into k perfect matchings; each matching is a
+//! permutation digraph — a spanning union of directed cycles, i.e. an
+//! oriented 2-factor.
+//!
+//! The result is a **label-complete** [`LDigraph`]: every node has an
+//! outgoing *and* incoming edge for every label. Label-complete L-digraphs
+//! have all radius-r views equal to the complete tree `(T*, λ)` for every
+//! `r` — the strongest possible PO symmetry, used by the lower-bound
+//! instances of `locap-core` (Thm 1.6): no vertex-transitivity is needed.
+
+use crate::{Graph, GraphError, LDigraph, NodeId};
+
+/// An Eulerian orientation: every edge directed so that each node has
+/// in-degree = out-degree = degree/2.
+///
+/// # Errors
+///
+/// Fails if some node has odd degree.
+pub fn euler_orientation(g: &Graph) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    if let Some(v) = g.nodes().find(|&v| g.degree(v) % 2 != 0) {
+        return Err(GraphError::BadParameters {
+            reason: format!("node {v} has odd degree {}", g.degree(v)),
+        });
+    }
+    // adjacency with edge ids for O(1) usage marking
+    let edges = g.edge_vec();
+    let mut inc: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); g.node_count()];
+    for (i, e) in edges.iter().enumerate() {
+        inc[e.u].push((e.v, i));
+        inc[e.v].push((e.u, i));
+    }
+    let mut used = vec![false; edges.len()];
+    let mut next = vec![0usize; g.node_count()];
+    let mut directed = Vec::with_capacity(edges.len());
+
+    for start in g.nodes() {
+        // Hierholzer from `start` while it has unused incident edges
+        loop {
+            while next[start] < inc[start].len() && used[inc[start][next[start]].1] {
+                next[start] += 1;
+            }
+            if next[start] >= inc[start].len() {
+                break;
+            }
+            // walk a closed trail
+            let mut v = start;
+            loop {
+                while next[v] < inc[v].len() && used[inc[v][next[v]].1] {
+                    next[v] += 1;
+                }
+                if next[v] >= inc[v].len() {
+                    break; // trail closed (back at a saturated vertex)
+                }
+                let (u, id) = inc[v][next[v]];
+                used[id] = true;
+                directed.push((v, u));
+                v = u;
+            }
+        }
+    }
+    debug_assert_eq!(directed.len(), edges.len());
+    Ok(directed)
+}
+
+/// Decomposes a 2k-regular graph into `k` oriented 2-factors, returned as
+/// a label-complete L-digraph over the alphabet `0..k` whose underlying
+/// graph is `g`.
+///
+/// # Errors
+///
+/// Fails if `g` is not regular of even degree.
+pub fn two_factor_labeling(g: &Graph) -> Result<LDigraph, GraphError> {
+    let n = g.node_count();
+    let delta = g.max_degree();
+    if delta % 2 != 0 || !g.is_regular(delta) {
+        return Err(GraphError::BadParameters {
+            reason: format!("graph is not 2k-regular (Δ = {delta})"),
+        });
+    }
+    let k = delta / 2;
+    let directed = euler_orientation(g)?;
+
+    // bipartite graph: left = out-side of each node, right = in-side.
+    // adj[u] = list of (v, edge index) for directed edges u -> v.
+    let mut adj: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+    for (i, &(u, v)) in directed.iter().enumerate() {
+        adj[u].push((v, i));
+    }
+
+    let mut assigned = vec![usize::MAX; directed.len()]; // edge -> label
+    let mut d = LDigraph::new(n, k);
+    for label in 0..k {
+        // perfect matching in the remaining bipartite graph (k-label)-regular
+        // via augmenting paths (Kuhn's algorithm).
+        let mut match_right: Vec<Option<NodeId>> = vec![None; n]; // right v -> left u
+        let mut match_left: Vec<Option<usize>> = vec![None; n]; // left u -> edge index
+        for u in 0..n {
+            let mut visited = vec![false; n];
+            if !augment(u, &adj, &assigned, &mut match_right, &mut match_left, &mut visited) {
+                return Err(GraphError::BadParameters {
+                    reason: format!("no perfect matching at label {label} (graph not regular?)"),
+                });
+            }
+        }
+        for u in 0..n {
+            let i = match_left[u].expect("perfect matching covers all left nodes");
+            assigned[i] = label;
+            let (from, to) = directed[i];
+            debug_assert_eq!(from, u);
+            d.add_edge(from, to, label)?;
+        }
+    }
+    debug_assert!(d.is_label_complete());
+    Ok(d)
+}
+
+fn augment(
+    u: NodeId,
+    adj: &[Vec<(NodeId, usize)>],
+    assigned: &[usize],
+    match_right: &mut Vec<Option<NodeId>>,
+    match_left: &mut Vec<Option<usize>>,
+    visited: &mut Vec<bool>,
+) -> bool {
+    for &(v, i) in &adj[u] {
+        if assigned[i] != usize::MAX || visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        let previous = match_right[v];
+        let free = match previous {
+            None => true,
+            Some(pu) => augment(pu, adj, assigned, match_right, match_left, visited),
+        };
+        if free {
+            match_right[v] = Some(u);
+            match_left[u] = Some(i);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn euler_orientation_balances_degrees() {
+        for g in [gen::cycle(7), gen::complete(5), gen::hypercube(4), gen::grid(4, 4)] {
+            if g.nodes().any(|v| g.degree(v) % 2 != 0) {
+                assert!(euler_orientation(&g).is_err());
+                continue;
+            }
+            let dir = euler_orientation(&g).unwrap();
+            assert_eq!(dir.len(), g.edge_count());
+            let mut out = vec![0usize; g.node_count()];
+            let mut inn = vec![0usize; g.node_count()];
+            for &(u, v) in &dir {
+                assert!(g.has_edge(u, v));
+                out[u] += 1;
+                inn[v] += 1;
+            }
+            for v in g.nodes() {
+                assert_eq!(out[v], g.degree(v) / 2, "node {v}");
+                assert_eq!(inn[v], g.degree(v) / 2, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn euler_orientation_rejects_odd_degrees() {
+        assert!(euler_orientation(&gen::petersen()).is_err());
+        assert!(euler_orientation(&gen::path(3)).is_err());
+    }
+
+    #[test]
+    fn two_factorization_of_cycles_and_tori() {
+        // a cycle is its own single 2-factor
+        let d = two_factor_labeling(&gen::cycle(8)).unwrap();
+        assert_eq!(d.alphabet_size(), 1);
+        assert!(d.is_label_complete());
+        assert_eq!(d.underlying().unwrap(), gen::cycle(8));
+
+        // 4-regular: K5 and the 4x4 torus
+        let k5 = gen::complete(5);
+        let d = two_factor_labeling(&k5).unwrap();
+        assert_eq!(d.alphabet_size(), 2);
+        assert!(d.is_label_complete());
+        assert_eq!(d.underlying().unwrap(), k5);
+    }
+
+    #[test]
+    fn two_factorization_of_random_regular() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(n, deg) in &[(10usize, 4usize), (16, 6), (14, 4)] {
+            let g = random::random_regular(n, deg, 100_000, &mut rng).unwrap();
+            let d = two_factor_labeling(&g).unwrap();
+            assert_eq!(d.alphabet_size(), deg / 2);
+            assert!(d.is_label_complete(), "({n},{deg})");
+            assert_eq!(d.underlying().unwrap(), g, "({n},{deg})");
+        }
+    }
+
+    #[test]
+    fn two_factorization_rejects_irregular_and_odd() {
+        assert!(two_factor_labeling(&gen::petersen()).is_err()); // 3-regular
+        assert!(two_factor_labeling(&gen::star(4)).is_err()); // irregular
+    }
+
+    #[test]
+    fn label_classes_are_two_factors() {
+        let g = gen::hypercube(4); // 4-regular
+        let d = two_factor_labeling(&g).unwrap();
+        for label in 0..d.alphabet_size() {
+            // each class is a permutation: every node has out and in
+            for v in 0..d.node_count() {
+                assert!(d.out_neighbor(v, label).is_some());
+                assert!(d.in_neighbor(v, label).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// A graph with a linear order on its vertices — the structure available to
+/// an **OI** (order-invariant) algorithm (paper §2.4).
+///
+/// The order is stored as a *rank*: `rank(v)` is the position of `v` in the
+/// linear order, with rank 0 the smallest vertex. OI algorithms may depend
+/// only on the isomorphism type of the ordered radius-`r` neighbourhood
+/// τ(G, <, v); see [`crate::canon::ordered_nbhd`].
+///
+/// # Examples
+///
+/// ```
+/// use locap_graph::{gen, OrderedGraph};
+///
+/// let g = gen::cycle(4);
+/// let og = OrderedGraph::identity(g);
+/// assert!(og.less(0, 3));
+/// assert_eq!(og.rank(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedGraph {
+    graph: Graph,
+    rank: Vec<usize>,
+}
+
+impl OrderedGraph {
+    /// Orders the vertices by their indices: `0 < 1 < … < n-1`.
+    pub fn identity(graph: Graph) -> OrderedGraph {
+        let rank = (0..graph.node_count()).collect();
+        OrderedGraph { graph, rank }
+    }
+
+    /// Uses an explicit rank vector (`rank[v]` = position of `v`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadOrder`] unless `rank` is a permutation of
+    /// `0..n`.
+    pub fn from_rank(graph: Graph, rank: Vec<usize>) -> Result<OrderedGraph, GraphError> {
+        let n = graph.node_count();
+        if rank.len() != n {
+            return Err(GraphError::BadOrder {
+                reason: format!("rank vector has length {} for {} nodes", rank.len(), n),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            if r >= n || seen[r] {
+                return Err(GraphError::BadOrder {
+                    reason: format!("rank {r} repeated or out of range"),
+                });
+            }
+            seen[r] = true;
+        }
+        Ok(OrderedGraph { graph, rank })
+    }
+
+    /// Orders vertices by a key function (ties broken by vertex index).
+    pub fn by_key<K: Ord>(graph: Graph, mut key: impl FnMut(NodeId) -> K) -> OrderedGraph {
+        let n = graph.node_count();
+        let mut perm: Vec<NodeId> = (0..n).collect();
+        perm.sort_by_key(|&v| (key(v), v));
+        let mut rank = vec![0; n];
+        for (pos, &v) in perm.iter().enumerate() {
+            rank[v] = pos;
+        }
+        OrderedGraph { graph, rank }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The rank (position in the order) of `v`.
+    pub fn rank(&self, v: NodeId) -> usize {
+        self.rank[v]
+    }
+
+    /// The full rank vector.
+    pub fn ranks(&self) -> &[usize] {
+        &self.rank
+    }
+
+    /// Whether `u < v` in the vertex order.
+    pub fn less(&self, u: NodeId, v: NodeId) -> bool {
+        self.rank[u] < self.rank[v]
+    }
+
+    /// Vertices listed in increasing order.
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut perm: Vec<NodeId> = (0..self.graph.node_count()).collect();
+        perm.sort_by_key(|&v| self.rank[v]);
+        perm
+    }
+
+    /// Consumes self, returning the graph and the rank vector.
+    pub fn into_parts(self) -> (Graph, Vec<usize>) {
+        (self.graph, self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn identity_order() {
+        let og = OrderedGraph::identity(gen::path(4));
+        assert!(og.less(0, 1));
+        assert!(!og.less(1, 0));
+        assert_eq!(og.sorted_nodes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_rank_validates() {
+        let g = gen::path(3);
+        assert!(OrderedGraph::from_rank(g.clone(), vec![2, 0, 1]).is_ok());
+        assert!(OrderedGraph::from_rank(g.clone(), vec![0, 0, 1]).is_err());
+        assert!(OrderedGraph::from_rank(g.clone(), vec![0, 1, 5]).is_err());
+        assert!(OrderedGraph::from_rank(g.clone(), vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn by_key_orders_and_breaks_ties() {
+        let g = gen::path(4);
+        // key: even nodes first
+        let og = OrderedGraph::by_key(g, |v| v % 2);
+        assert_eq!(og.sorted_nodes(), vec![0, 2, 1, 3]);
+        assert!(og.less(2, 1));
+        assert_eq!(og.rank(3), 3);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let og = OrderedGraph::from_rank(gen::path(3), vec![2, 1, 0]).unwrap();
+        let (_, rank) = og.into_parts();
+        assert_eq!(rank, vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cayley graphs as properly labelled digraphs (paper §5.1).
+//!
+//! The Cayley graph `C(G, S)` of a group `G` with respect to a finite set
+//! `S ⊆ G` has an edge `g --ℓ--> g·s_ℓ` for every `g` and every generator
+//! `s_ℓ` (labelled by its index in `S`). We additionally require that
+//! `S ∪ S⁻¹` contains no identity, no repeats and no involutions or inverse
+//! pairs, so that the underlying undirected graph is simple and
+//! `2|S|`-regular, as the construction of Thm 3.2 needs.
+
+use std::collections::HashMap;
+
+use locap_graph::LDigraph;
+
+use crate::{Group, GroupError, IterGroup};
+
+fn validate_generators<G: Group>(group: &G, gens: &[G::Elem]) -> Result<(), GroupError> {
+    let id = group.identity();
+    for (i, s) in gens.iter().enumerate() {
+        if *s == id {
+            return Err(GroupError::BadGenerators {
+                reason: format!("generator {i} is the identity"),
+            });
+        }
+        if group.op(s, s) == id {
+            return Err(GroupError::BadGenerators {
+                reason: format!("generator {i} is an involution"),
+            });
+        }
+        for (j, t) in gens.iter().enumerate().skip(i + 1) {
+            if s == t {
+                return Err(GroupError::BadGenerators {
+                    reason: format!("generators {i} and {j} coincide"),
+                });
+            }
+            if *t == group.inv(s) {
+                return Err(GroupError::BadGenerators {
+                    reason: format!("generators {i} and {j} are mutually inverse"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Cayley graph `C(group, gens)` for a finite [`IterGroup`],
+/// using the group's own mixed-radix element indexing (vertex `v`
+/// represents `group.elem_of(v)`).
+///
+/// The result is label-complete, hence `2|S|`-regular.
+///
+/// # Errors
+///
+/// Fails when the group is infinite, its order does not fit `usize`, or the
+/// generators are invalid (identity/repeat/involution/inverse pair).
+pub fn cayley(group: &IterGroup, gens: &[Vec<i64>]) -> Result<LDigraph, GroupError> {
+    let order = group.order().ok_or(GroupError::InfiniteGroup)?;
+    if order > usize::MAX as u128 {
+        return Err(GroupError::BadParameters { reason: "group order exceeds usize".into() });
+    }
+    validate_generators(group, gens)?;
+    let n = order as usize;
+    let mut d = LDigraph::new(n, gens.len());
+    for v in 0..n {
+        let g = group.elem_of(v);
+        for (l, s) in gens.iter().enumerate() {
+            let u = group.index_of(&group.op(&g, s));
+            d.add_edge(v, u, l).map_err(|e| GroupError::BadGenerators {
+                reason: format!("Cayley edge rejected: {e}"),
+            })?;
+        }
+    }
+    Ok(d)
+}
+
+/// Builds the Cayley graph on an explicit list of elements (e.g. a subgroup
+/// or a coset pattern) for any [`Group`]. The element list must be closed
+/// under right multiplication by every generator.
+///
+/// Returns the digraph whose vertex `v` represents `elements[v]`.
+///
+/// # Errors
+///
+/// Fails if generators are invalid, elements repeat, or the element list is
+/// not closed under the generators.
+pub fn cayley_indexed<G: Group>(
+    group: &G,
+    elements: &[G::Elem],
+    gens: &[G::Elem],
+) -> Result<LDigraph, GroupError> {
+    validate_generators(group, gens)?;
+    let mut index: HashMap<&G::Elem, usize> = HashMap::with_capacity(elements.len());
+    for (i, e) in elements.iter().enumerate() {
+        if index.insert(e, i).is_some() {
+            return Err(GroupError::BadParameters {
+                reason: format!("element {i} repeats in the element list"),
+            });
+        }
+    }
+    let mut d = LDigraph::new(elements.len(), gens.len());
+    for (v, e) in elements.iter().enumerate() {
+        for (l, s) in gens.iter().enumerate() {
+            let target = group.op(e, s);
+            let u = *index.get(&target).ok_or_else(|| GroupError::BadParameters {
+                reason: format!("element list not closed: missing {target:?}"),
+            })?;
+            d.add_edge(v, u, l).map_err(|e| GroupError::BadGenerators {
+                reason: format!("Cayley edge rejected: {e}"),
+            })?;
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cyclic;
+
+    #[test]
+    fn cayley_of_cyclic_is_directed_cycle() {
+        let g = Cyclic::new(7);
+        let elements: Vec<u64> = g.elements().collect();
+        let d = cayley_indexed(&g, &elements, &[1]).unwrap();
+        assert_eq!(d, locap_graph::gen::directed_cycle(7));
+    }
+
+    #[test]
+    fn cayley_circulant_is_4_regular() {
+        // The circulant C(Z_36, {1, 2}) is label-complete, 4-regular,
+        // connected, and has girth 3 (1 + 1 = 2 closes a triangle with the
+        // chord 2).
+        let g = Cyclic::new(36);
+        let elements: Vec<u64> = g.elements().collect();
+        let d = cayley_indexed(&g, &elements, &[1, 2]).unwrap();
+        assert!(d.is_label_complete());
+        assert_eq!(d.edge_count(), 72);
+        let und = d.underlying().unwrap();
+        assert!(und.is_regular(4));
+        assert!(und.is_connected());
+        assert_eq!(und.girth(), Some(3));
+    }
+
+    #[test]
+    fn generator_validation() {
+        let g = Cyclic::new(8);
+        let els: Vec<u64> = g.elements().collect();
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[0]),
+            Err(GroupError::BadGenerators { .. })
+        ));
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[4]), // involution: 4+4=0
+            Err(GroupError::BadGenerators { .. })
+        ));
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[1, 1]),
+            Err(GroupError::BadGenerators { .. })
+        ));
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[3, 5]), // 5 = -3
+            Err(GroupError::BadGenerators { .. })
+        ));
+        assert!(cayley_indexed(&g, &els, &[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn cayley_iter_group_regular_and_vertex_transitive_views() {
+        let w2 = IterGroup::finite(2, 2).unwrap();
+        // pick a non-involution: (1,0,1)·(1,0,1) = (1+0,0+1,0) = (1,1,0) ≠ id
+        let s = vec![1i64, 0, 1];
+        let d = cayley(&w2, &[s]).unwrap();
+        assert_eq!(d.node_count(), 8);
+        assert!(d.is_label_complete());
+        for v in 0..8 {
+            assert_eq!(d.degree(v), 2);
+        }
+        // C(W₂, {s}) for s of order 4 is two disjoint directed 4-cycles
+        let und = d.underlying().unwrap();
+        assert_eq!(und.components().len(), 2);
+        assert_eq!(und.girth(), Some(4));
+    }
+
+    #[test]
+    fn cayley_respects_lift_structure() {
+        // C(H₂(4), S) covers C(W₂, ϕ'(S)); verify edge projection on a sample.
+        let h = IterGroup::finite(2, 4).unwrap();
+        let w = IterGroup::finite(2, 2).unwrap();
+        let s_h = vec![1i64, 0, 1];
+        let dh = cayley(&h, &[s_h.clone()]).unwrap();
+        let (_, s_w) = h.reduce(&s_h, 2).unwrap();
+        let dw = cayley(&w, &[s_w]).unwrap();
+        // projection of an edge of dh is an edge of dw
+        for e in dh.edges() {
+            let (_, from_w) = h.reduce(&h.elem_of(e.from), 2).unwrap();
+            let (_, to_w) = h.reduce(&h.elem_of(e.to), 2).unwrap();
+            assert_eq!(dw.out_neighbor(w.index_of(&from_w), e.label), Some(w.index_of(&to_w)));
+        }
+    }
+
+    #[test]
+    fn cayley_indexed_detects_unclosed_list() {
+        let g = Cyclic::new(10);
+        let els: Vec<u64> = (0..5).collect(); // not closed under +1 at 4 -> 5
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[1]),
+            Err(GroupError::BadParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn cayley_indexed_detects_duplicates() {
+        let g = Cyclic::new(4);
+        let els = vec![0u64, 1, 2, 2];
+        assert!(matches!(
+            cayley_indexed(&g, &els, &[1]),
+            Err(GroupError::BadParameters { .. })
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+use crate::{Group, GroupError};
+
+/// The cyclic group `Z_m` with elements `0..m`.
+///
+/// # Examples
+///
+/// ```
+/// use locap_groups::{Cyclic, Group};
+/// let g = Cyclic::new(5);
+/// assert_eq!(g.op(&3, &4), 2);
+/// assert_eq!(g.inv(&2), 3);
+/// assert_eq!(g.order(), Some(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cyclic {
+    m: u64,
+}
+
+impl Cyclic {
+    /// Creates `Z_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: u64) -> Cyclic {
+        assert!(m > 0, "modulus must be positive");
+        Cyclic { m }
+    }
+
+    /// Like [`Cyclic::new`] but returns an error instead of panicking.
+    pub fn try_new(m: u64) -> Result<Cyclic, GroupError> {
+        if m == 0 {
+            Err(GroupError::BadParameters { reason: "modulus must be positive".into() })
+        } else {
+            Ok(Cyclic { m })
+        }
+    }
+
+    /// The modulus `m`.
+    pub fn modulus(&self) -> u64 {
+        self.m
+    }
+
+    /// All elements `0..m`.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.m
+    }
+}
+
+impl Group for Cyclic {
+    type Elem = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn op(&self, a: &u64, b: &u64) -> u64 {
+        (a + b) % self.m
+    }
+
+    fn inv(&self, a: &u64) -> u64 {
+        (self.m - a % self.m) % self.m
+    }
+
+    fn order(&self) -> Option<u128> {
+        Some(self.m as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axioms_hold_exhaustively() {
+        let g = Cyclic::new(7);
+        for a in g.elements() {
+            assert_eq!(g.op(&a, &g.identity()), a);
+            assert_eq!(g.op(&g.identity(), &a), a);
+            assert_eq!(g.op(&a, &g.inv(&a)), g.identity());
+            for b in g.elements() {
+                for c in g.elements() {
+                    assert_eq!(g.op(&g.op(&a, &b), &c), g.op(&a, &g.op(&b, &c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_zero() {
+        assert!(Cyclic::try_new(0).is_err());
+        assert!(Cyclic::try_new(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn new_panics_on_zero() {
+        let _ = Cyclic::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse(m in 1u64..1000, a in 0u64..1000) {
+            let g = Cyclic::new(m);
+            let a = a % m;
+            prop_assert_eq!(g.op(&a, &g.inv(&a)), 0);
+            prop_assert_eq!(g.op(&g.inv(&a), &a), 0);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors from group construction and Cayley graph building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GroupError {
+    /// Parameters outside the supported range.
+    BadParameters {
+        /// Description of the defect.
+        reason: String,
+    },
+    /// A generating set contained the identity or a repeated element.
+    BadGenerators {
+        /// Description of the defect.
+        reason: String,
+    },
+    /// The requested group is infinite but a finite enumeration was needed.
+    InfiniteGroup,
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            GroupError::BadGenerators { reason } => write!(f, "bad generators: {reason}"),
+            GroupError::InfiniteGroup => write!(f, "operation requires a finite group"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GroupError::InfiniteGroup.to_string().contains("finite"));
+        assert!(GroupError::BadParameters { reason: "m odd".into() }
+            .to_string()
+            .contains("m odd"));
+        let e: Box<dyn std::error::Error> =
+            Box::new(GroupError::BadGenerators { reason: "dup".into() });
+        assert!(e.to_string().contains("dup"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Growth of groups — the quantitative heart of §5.2.
+//!
+//! The paper's strategy needs an infinite homogeneous graph that can be
+//! *cut down to finite size* leaving only an ε-fraction of boundary
+//! neighbourhoods. The free group fails: its Cayley graph (the 2k-regular
+//! tree) has exponential growth, so every finite cut has a constant-
+//! fraction boundary. The groups `U_i` succeed because they have
+//! **polynomial growth** — balls satisfy `|B(r)| ≤ (2r+1)^d` thanks to the
+//! `[−1, 1]^d` generator embedding (paper Eq. (2)).
+//!
+//! This module computes exact ball sizes by BFS ([`ball_sizes`]), the free
+//! group comparison ([`free_ball_size`]), and the polynomial cap
+//! ([`box_cap`]); experiment `e13_growth` tabulates them.
+
+use std::collections::HashSet;
+
+use crate::Group;
+
+/// Exact sizes of the balls `|B(1, r)|` of the Cayley graph of `group`
+/// with respect to `gens ∪ gens⁻¹`, for `r = 0..=max_r`.
+pub fn ball_sizes<G: Group>(group: &G, gens: &[G::Elem], max_r: usize) -> Vec<usize> {
+    let mut seen: HashSet<G::Elem> = HashSet::new();
+    seen.insert(group.identity());
+    let mut frontier = vec![group.identity()];
+    let mut sizes = vec![1usize];
+    for _ in 0..max_r {
+        let mut next = Vec::new();
+        for x in &frontier {
+            for s in gens {
+                for y in [group.op(x, s), group.op(x, &group.inv(s))] {
+                    if seen.insert(y.clone()) {
+                        next.push(y);
+                    }
+                }
+            }
+        }
+        frontier = next;
+        sizes.push(seen.len());
+    }
+    sizes
+}
+
+/// The ball size of the free group on `k` generators (the 2k-regular
+/// tree): `1 + 2k·((2k−1)^r − 1)/(2k−2)` (`1 + 2r` for `k = 1`).
+pub fn free_ball_size(k: usize, r: usize) -> u128 {
+    if k == 0 {
+        return 1;
+    }
+    let deg = 2 * k as u128;
+    if deg == 2 {
+        return 1 + 2 * r as u128;
+    }
+    let mut total: u128 = 1;
+    let mut layer = deg;
+    for _ in 0..r {
+        total += layer;
+        layer *= deg - 1;
+    }
+    total
+}
+
+/// The box cap `(2r+1)^d` of paper Eq. (2): balls of `U` with `[−1,1]^d`
+/// generators live inside the cube `[−r, r]^d`.
+pub fn box_cap(dim: usize, r: usize) -> u128 {
+    let side = (2 * r + 1) as u128;
+    let mut cap = 1u128;
+    for _ in 0..dim {
+        cap = cap.saturating_mul(side);
+    }
+    cap
+}
+
+/// Fits the growth exponent between consecutive radii:
+/// `log(|B(r)|/|B(r−1)|) / log(r/(r−1))` — roughly constant `d` for
+/// polynomial growth of degree `d`, and growing linearly in `r` for
+/// exponential growth.
+pub fn growth_exponents(sizes: &[usize]) -> Vec<f64> {
+    (2..sizes.len())
+        .map(|r| {
+            let ratio = sizes[r] as f64 / sizes[r - 1] as f64;
+            let step = r as f64 / (r as f64 - 1.0);
+            ratio.ln() / step.ln()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterGroup;
+
+    #[test]
+    fn u1_is_the_integer_line() {
+        let u = IterGroup::infinite(1).unwrap();
+        let sizes = ball_sizes(&u, &[vec![1]], 6);
+        assert_eq!(sizes, vec![1, 3, 5, 7, 9, 11, 13]);
+    }
+
+    #[test]
+    fn u2_ball_sizes_polynomial() {
+        let u = IterGroup::infinite(2).unwrap();
+        let gens = vec![vec![1i64, 0, 0], vec![0, 0, 1]];
+        let sizes = ball_sizes(&u, &gens, 6);
+        // within the box cap (2r+1)^3 and far below the free-group tree
+        for (r, &s) in sizes.iter().enumerate() {
+            assert!(s as u128 <= box_cap(3, r), "r = {r}");
+        }
+        assert!(
+            (sizes[6] as u128) < free_ball_size(2, 6),
+            "polynomial growth beats the 4-regular tree: {} < {}",
+            sizes[6],
+            free_ball_size(2, 6)
+        );
+        // strictly increasing
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn free_ball_closed_form() {
+        assert_eq!(free_ball_size(1, 4), 9);
+        assert_eq!(free_ball_size(2, 0), 1);
+        assert_eq!(free_ball_size(2, 1), 5);
+        assert_eq!(free_ball_size(2, 2), 17);
+        assert_eq!(free_ball_size(2, 3), 53);
+        assert_eq!(free_ball_size(3, 1), 7);
+    }
+
+    #[test]
+    fn box_caps() {
+        assert_eq!(box_cap(3, 1), 27);
+        assert_eq!(box_cap(3, 2), 125);
+        assert_eq!(box_cap(7, 1), 2187);
+        assert_eq!(box_cap(0, 5), 1);
+    }
+
+    #[test]
+    fn exponents_flat_for_polynomial() {
+        let u = IterGroup::infinite(2).unwrap();
+        let gens = vec![vec![1i64, 0, 0], vec![0, 0, 1]];
+        let sizes = ball_sizes(&u, &gens, 8);
+        let exps = growth_exponents(&sizes);
+        // bounded by the dimension 3 + slack; in particular far from the
+        // linear-in-r exponents of exponential growth
+        assert!(exps.iter().all(|&e| e < 4.5), "{exps:?}");
+    }
+
+    #[test]
+    fn w_groups_are_finite_so_growth_saturates() {
+        let w3 = IterGroup::finite(3, 2).unwrap();
+        let gens = vec![vec![1i64, 0, 0, 0, 0, 0, 1]];
+        let sizes = ball_sizes(&w3, &gens, 40);
+        let last = *sizes.last().unwrap();
+        assert!(last <= 128);
+        // saturation: stops growing
+        assert_eq!(sizes[sizes.len() - 1], sizes[sizes.len() - 2]);
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A (possibly infinite) group with explicitly represented elements.
+///
+/// Implementations carry the group *structure* (the modulus, the nesting
+/// level) as data, so elements can be plain tuples/integers.
+pub trait Group {
+    /// The element representation.
+    type Elem: Clone + Eq + Hash + Ord + Debug;
+
+    /// The identity element.
+    fn identity(&self) -> Self::Elem;
+
+    /// The group operation `a · b`.
+    fn op(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The inverse `a⁻¹`.
+    fn inv(&self, a: &Self::Elem) -> Self::Elem;
+
+    /// The group order, or `None` when infinite.
+    fn order(&self) -> Option<u128>;
+
+    /// `a^n` for `n >= 0` by repeated squaring.
+    fn pow(&self, a: &Self::Elem, mut n: u64) -> Self::Elem {
+        let mut base = a.clone();
+        let mut acc = self.identity();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = self.op(&acc, &base);
+            }
+            base = self.op(&base, &base);
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// The conjugate `b⁻¹ a b`.
+    fn conj(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.op(&self.op(&self.inv(b), a), b)
+    }
+
+    /// The commutator `a⁻¹ b⁻¹ a b`.
+    fn commutator(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.op(&self.op(&self.inv(a), &self.inv(b)), &self.op(a, b))
+    }
+
+    /// The order of an element (smallest `n >= 1` with `a^n = 1`), searching
+    /// up to `limit`. Returns `None` if not found within the limit.
+    fn elem_order(&self, a: &Self::Elem, limit: u64) -> Option<u64> {
+        let mut x = a.clone();
+        for n in 1..=limit {
+            if x == self.identity() {
+                return Some(n);
+            }
+            x = self.op(&x, a);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cyclic;
+
+    #[test]
+    fn pow_matches_repeated_op() {
+        let g = Cyclic::new(12);
+        let a = 5u64;
+        let mut acc = g.identity();
+        for n in 0..30u64 {
+            assert_eq!(g.pow(&a, n), acc, "5^{n} in Z_12");
+            acc = g.op(&acc, &a);
+        }
+    }
+
+    #[test]
+    fn elem_order_in_cyclic() {
+        let g = Cyclic::new(12);
+        assert_eq!(g.elem_order(&1, 100), Some(12));
+        assert_eq!(g.elem_order(&4, 100), Some(3));
+        assert_eq!(g.elem_order(&0, 100), Some(1));
+        assert_eq!(g.elem_order(&1, 5), None, "limit too small");
+    }
+
+    #[test]
+    fn commutator_trivial_in_abelian() {
+        let g = Cyclic::new(9);
+        for a in 0..9u64 {
+            for b in 0..9u64 {
+                assert_eq!(g.commutator(&a, &b), g.identity());
+                assert_eq!(g.conj(&a, &b), a);
+            }
+        }
+    }
+}

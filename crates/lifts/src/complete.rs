@@ -1,0 +1,134 @@
+//! The complete tree `(T*, λ)` (paper §2.5, Fig. 5).
+//!
+//! `T*` is the radius-`r` tree of *all* reduced words over `L ∪ L⁻¹`: the
+//! view of any label-complete L-digraph of girth > 2r + 1. Every concrete
+//! view τ(T(G, v)) is (isomorphic to) a subtree of `T*` rooted at λ —
+//! this is the set `W` of the paper, and a PO algorithm is a function
+//! `B : W → Ω`.
+
+use crate::{Letter, ViewNode, ViewTree, Word};
+
+fn build_complete(labels: usize, last: Option<Letter>, depth: usize) -> ViewNode {
+    if depth == 0 {
+        return ViewNode { children: Vec::new() };
+    }
+    let mut children = Vec::new();
+    for label in 0..labels {
+        for letter in [Letter::pos(label), Letter::neg(label)] {
+            if last != Some(letter.inv()) {
+                children.push((letter, build_complete(labels, Some(letter), depth - 1)));
+            }
+        }
+    }
+    children.sort_by_key(|&(l, _)| l);
+    ViewNode { children }
+}
+
+/// Builds the complete radius-`r` tree `(T*, λ)` over an alphabet of
+/// `labels` labels.
+///
+/// ```
+/// use locap_lifts::{complete_tree, t_star_size};
+///
+/// let t = complete_tree(2, 2); // Fig. 5: |L| = 2, r = 2
+/// assert_eq!(t.size(), 17);
+/// assert_eq!(t.size(), t_star_size(2, 2));
+/// ```
+pub fn complete_tree(labels: usize, r: usize) -> ViewTree {
+    ViewTree { root: build_complete(labels, None, r), radius: r, alphabet: labels }
+}
+
+/// The number of vertices `t = |T*|` of the complete radius-`r` tree:
+/// `1 + 2|L| · ((2|L|−1)^r − 1) / (2|L|−2)` for `|L| > 1`, `1 + 2r` for
+/// `|L| = 1`.
+pub fn t_star_size(labels: usize, r: usize) -> usize {
+    if labels == 0 {
+        return 1;
+    }
+    let k = 2 * labels;
+    if k == 2 {
+        return 1 + 2 * r;
+    }
+    // 1 + k + k(k-1) + k(k-1)^2 + … + k(k-1)^{r-1}
+    let mut total = 1usize;
+    let mut layer = k;
+    for _ in 0..r {
+        total += layer;
+        layer *= k - 1;
+    }
+    total
+}
+
+/// Enumerates all reduced words of length at most `r` over `labels` labels,
+/// in sorted order — the vertex set of `(T*, λ)`.
+pub fn reduced_words(labels: usize, r: usize) -> Vec<Word> {
+    complete_tree(labels, r).words()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_formula() {
+        for labels in 1..4 {
+            for r in 0..4 {
+                let t = complete_tree(labels, r);
+                assert_eq!(t.size(), t_star_size(labels, r), "L={labels}, r={r}");
+                assert_eq!(reduced_words(labels, r).len(), t.size());
+            }
+        }
+        // Fig. 5: |L| = 2, r = 2 has 1 + 4 + 12 = 17 vertices.
+        assert_eq!(t_star_size(2, 2), 17);
+        // |L| = 1: words are a^k and a^{-k}
+        assert_eq!(t_star_size(1, 3), 7);
+        assert_eq!(t_star_size(0, 5), 1);
+    }
+
+    #[test]
+    fn root_has_2l_children_others_2l_minus_1() {
+        let t = complete_tree(3, 2);
+        assert_eq!(t.root.children.len(), 6);
+        for (_, c) in &t.root.children {
+            assert_eq!(c.children.len(), 5, "non-backtracking children");
+        }
+    }
+
+    #[test]
+    fn words_are_reduced_and_sorted() {
+        let words = reduced_words(2, 2);
+        assert_eq!(words.len(), 17);
+        for w in &words {
+            // reduced: re-reducing does not shrink
+            let re = Word::from_letters(w.letters().iter().copied());
+            assert_eq!(&re, w);
+        }
+        let mut sorted = words.clone();
+        sorted.sort();
+        assert_eq!(sorted, words);
+        // λ is present
+        assert!(words.iter().any(|w| w.is_empty()));
+    }
+
+    #[test]
+    fn every_view_embeds_in_t_star() {
+        use locap_graph::{gen, PoGraph};
+        let g = gen::petersen();
+        let po = PoGraph::canonical(&g);
+        let labels = po.digraph().alphabet_size();
+        let t_star = complete_tree(labels, 2);
+        for v in 0..10 {
+            let tv = crate::view(po.digraph(), v, 2);
+            assert!(tv.embeds_in(&t_star), "view of {v} embeds in T*");
+        }
+    }
+
+    #[test]
+    fn complete_tree_is_its_own_view() {
+        // The view of a label-complete high-girth graph equals T*: use the
+        // directed 31-cycle at r = 3 (|L| = 1).
+        let g = locap_graph::gen::directed_cycle(31);
+        let t = crate::view(&g, 0, 3);
+        assert_eq!(t, complete_tree(1, 3));
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors from lift construction and covering-map verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LiftError {
+    /// The candidate map has the wrong domain size.
+    WrongDomain {
+        /// Expected size (|V(H)|).
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// The candidate map sends a node outside the codomain.
+    ImageOutOfRange {
+        /// The offending node of H.
+        node: usize,
+    },
+    /// The candidate map is not onto.
+    NotOnto {
+        /// A node of G with empty fibre.
+        uncovered: usize,
+    },
+    /// The candidate map is not a local bijection at some node.
+    NotLocalBijection {
+        /// The offending node of H.
+        node: usize,
+        /// The label at which the defect occurs.
+        label: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Invalid parameters for a lift construction.
+    BadParameters {
+        /// Description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::WrongDomain { expected, actual } => {
+                write!(f, "covering map domain has size {actual}, expected {expected}")
+            }
+            LiftError::ImageOutOfRange { node } => {
+                write!(f, "image of node {node} is out of range")
+            }
+            LiftError::NotOnto { uncovered } => {
+                write!(f, "map is not onto: node {uncovered} has empty fibre")
+            }
+            LiftError::NotLocalBijection { node, label, detail } => {
+                write!(f, "not a local bijection at node {node}, label {label}: {detail}")
+            }
+            LiftError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LiftError::WrongDomain { expected: 4, actual: 2 }.to_string().contains("4"));
+        assert!(LiftError::NotOnto { uncovered: 3 }.to_string().contains("3"));
+        let e: Box<dyn std::error::Error> = Box::new(LiftError::BadParameters { reason: "l=0".into() });
+        assert!(e.to_string().contains("l=0"));
+    }
+}

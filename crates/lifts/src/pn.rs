@@ -1,0 +1,195 @@
+//! The **PN** model — port numbering *without* orientation (paper §6.1).
+//!
+//! PN is strictly weaker than PO: the paper's separating example is a
+//! 3-regular 3-edge-colourable graph whose edge colouring induces a port
+//! numbering under which *all PN views are isomorphic* — no symmetry
+//! breaking at all, so no non-trivial dominating set — while in PO any
+//! orientation must break symmetry (out-degrees cannot all be equal when
+//! the degree is odd).
+//!
+//! A PN view records non-backtracking walks as sequences of port pairs
+//! `(departure port, arrival port)`; backtracking means leaving through
+//! the port just arrived on. [`pn_view`] computes the canonical truncated
+//! tree, [`pn_view_census`] the symmetry census. Experiment
+//! `e14_po_vs_pn` runs the separation.
+
+use std::collections::HashMap;
+
+use locap_graph::{Graph, NodeId, PortNumbering};
+
+/// A node of a canonical PN view tree: children keyed by the departure
+/// port (with the arrival port recorded), sorted by departure port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PnNode {
+    /// Children: `(departure port, arrival port at the child, subtree)`.
+    pub children: Vec<(usize, usize, PnNode)>,
+}
+
+impl PnNode {
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, _, c)| c.size()).sum::<usize>()
+    }
+}
+
+/// The canonical radius-`r` PN view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PnView {
+    /// The root.
+    pub root: PnNode,
+    /// Truncation radius.
+    pub radius: usize,
+}
+
+impl PnView {
+    /// Number of nodes (walks of length ≤ r).
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+}
+
+fn build_pn(
+    g: &Graph,
+    ports: &PortNumbering,
+    v: NodeId,
+    arrived_on: Option<usize>,
+    depth: usize,
+) -> PnNode {
+    let mut children = Vec::new();
+    if depth > 0 {
+        for i in 0..g.degree(v) {
+            if Some(i) == arrived_on {
+                continue; // backtracking
+            }
+            let u = ports.neighbor(v, i).expect("port in range");
+            let j = ports.port_to(u, v).expect("reverse port exists");
+            children.push((i, j, build_pn(g, ports, u, Some(j), depth - 1)));
+        }
+    }
+    PnNode { children }
+}
+
+/// Computes the canonical radius-`r` PN view of `v`.
+pub fn pn_view(g: &Graph, ports: &PortNumbering, v: NodeId, r: usize) -> PnView {
+    PnView { root: build_pn(g, ports, v, None, r), radius: r }
+}
+
+/// Counts distinct radius-`r` PN views; most frequent first. One entry
+/// means the network is PN-symmetric: every deterministic PN algorithm
+/// computes the same output at every node.
+pub fn pn_view_census(g: &Graph, ports: &PortNumbering, r: usize) -> Vec<(PnView, usize)> {
+    let mut counts: HashMap<PnView, usize> = HashMap::new();
+    for v in g.nodes() {
+        *counts.entry(pn_view(g, ports, v, r)).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// A proper edge colouring interpreted as a port numbering: node `v`'s
+/// port `c` leads along its colour-`c` edge. Requires every node to see
+/// each colour `0..deg(v)` exactly once (i.e. a proper edge colouring of a
+/// Δ-regular graph with exactly Δ colours).
+///
+/// Returns `None` if the supplied colouring is not of that form.
+pub fn ports_from_edge_coloring(
+    g: &Graph,
+    coloring: &HashMap<locap_graph::Edge, usize>,
+) -> Option<PortNumbering> {
+    let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(g.node_count());
+    for v in g.nodes() {
+        let deg = g.degree(v);
+        let mut by_color: Vec<Option<NodeId>> = vec![None; deg];
+        for &u in g.neighbors(v) {
+            let c = *coloring.get(&locap_graph::Edge::new(v, u))?;
+            if c >= deg || by_color[c].is_some() {
+                return None;
+            }
+            by_color[c] = Some(u);
+        }
+        lists.push(by_color.into_iter().collect::<Option<Vec<_>>>()?);
+    }
+    PortNumbering::from_lists(g, lists).ok()
+}
+
+/// A proper 3-edge-colouring of `K_4` (nodes 0..4): the three perfect
+/// matchings.
+pub fn k4_edge_coloring() -> (Graph, HashMap<locap_graph::Edge, usize>) {
+    let g = locap_graph::gen::complete(4);
+    let mut col = HashMap::new();
+    col.insert(locap_graph::Edge::new(0, 1), 0);
+    col.insert(locap_graph::Edge::new(2, 3), 0);
+    col.insert(locap_graph::Edge::new(0, 2), 1);
+    col.insert(locap_graph::Edge::new(1, 3), 1);
+    col.insert(locap_graph::Edge::new(0, 3), 2);
+    col.insert(locap_graph::Edge::new(1, 2), 2);
+    (g, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::gen;
+
+    #[test]
+    fn k4_colored_ports_make_all_pn_views_equal() {
+        let (g, col) = k4_edge_coloring();
+        let ports = ports_from_edge_coloring(&g, &col).expect("valid colouring");
+        for r in 0..=4 {
+            let census = pn_view_census(&g, &ports, r);
+            assert_eq!(census.len(), 1, "radius {r}: all PN views identical");
+            assert_eq!(census[0].1, 4);
+        }
+    }
+
+    #[test]
+    fn po_breaks_symmetry_on_k4_for_every_orientation() {
+        // with the same colour ports, every one of the 2^6 orientations
+        // yields at least two distinct PO views at radius 1
+        use crate::view_census;
+        use locap_graph::{Orientation, PoGraph};
+
+        let (g, col) = k4_edge_coloring();
+        let ports = ports_from_edge_coloring(&g, &col).expect("valid colouring");
+        let edges = g.edge_vec();
+        for mask in 0u32..(1 << edges.len()) {
+            let orient = Orientation::from_fn(&g, |e| {
+                let idx = edges.iter().position(|&x| x == e).expect("edge listed");
+                mask & (1 << idx) != 0
+            });
+            let po = PoGraph::new(&g, ports.clone(), orient).expect("valid PO structure");
+            let census = view_census(po.digraph(), 1);
+            assert!(census.len() >= 2, "orientation {mask:#08b} failed to break symmetry");
+        }
+    }
+
+    #[test]
+    fn pn_views_differ_on_asymmetric_instances() {
+        let g = gen::path(3);
+        let ports = PortNumbering::sorted(&g);
+        let census = pn_view_census(&g, &ports, 2);
+        assert!(census.len() >= 2);
+        // endpoint vs middle
+        assert_ne!(pn_view(&g, &ports, 0, 1), pn_view(&g, &ports, 1, 1));
+    }
+
+    #[test]
+    fn pn_view_size_and_structure() {
+        let g = gen::cycle(8);
+        let ports = PortNumbering::sorted(&g);
+        let v = pn_view(&g, &ports, 3, 2);
+        // cycle: root 2 children, each child 1 child (non-backtracking)
+        assert_eq!(v.root.children.len(), 2);
+        assert_eq!(v.size(), 5);
+    }
+
+    #[test]
+    fn coloring_validation() {
+        let (g, mut col) = k4_edge_coloring();
+        col.insert(locap_graph::Edge::new(0, 1), 1); // clash with colour of {0,2}
+        assert!(ports_from_edge_coloring(&g, &col).is_none());
+        let incomplete: HashMap<_, _> = HashMap::new();
+        assert!(ports_from_edge_coloring(&g, &incomplete).is_none());
+    }
+}

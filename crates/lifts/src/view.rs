@@ -1,0 +1,251 @@
+//! Views: the information available to a PO algorithm (paper §2.5, Fig. 4).
+//!
+//! The view of an L-digraph `G` from `v` is the (possibly infinite) tree
+//! `T(G, v)` of non-backtracking walks starting at `v`. A local
+//! PO-algorithm with run-time `r` is exactly a function of the radius-`r`
+//! truncation τ(T(G, v)) — computed here as a canonical [`ViewTree`].
+//!
+//! Because the trees are canonical (children sorted by letter, letters
+//! distinct), **`ViewTree` equality is view isomorphism**, and the
+//! fundamental lift-invariance `T(H, v) = T(G, ϕ(v))` for covering maps ϕ
+//! can be checked by `==`.
+
+use std::collections::HashMap;
+
+use locap_graph::{LDigraph, NodeId};
+
+use crate::{Letter, Word};
+
+/// A node of a canonical view tree. Children are sorted by [`Letter`];
+/// each child letter appears at most once, so structural equality is
+/// isomorphism of the rooted, edge-labelled trees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewNode {
+    /// Children, sorted by letter; a child reached by a positive letter `ℓ`
+    /// sits at the far end of an outgoing edge labelled `ℓ`, a child
+    /// reached by `ℓ⁻¹` at the far end of an incoming edge.
+    pub children: Vec<(Letter, ViewNode)>,
+}
+
+impl ViewNode {
+    fn leaf() -> ViewNode {
+        ViewNode { children: Vec::new() }
+    }
+
+    /// Number of nodes in the subtree (including this one).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        self.children.iter().map(|(_, c)| c.depth() + 1).max().unwrap_or(0)
+    }
+
+    /// The child along `letter`, if present.
+    pub fn child(&self, letter: Letter) -> Option<&ViewNode> {
+        self.children
+            .binary_search_by_key(&letter, |&(l, _)| l)
+            .ok()
+            .map(|i| &self.children[i].1)
+    }
+
+    /// All words (walks) in the subtree, each prefixed by `prefix`.
+    fn collect_words(&self, prefix: &Word, out: &mut Vec<Word>) {
+        out.push(prefix.clone());
+        for (l, c) in &self.children {
+            let mut w = prefix.clone();
+            w.push(*l);
+            c.collect_words(&w, out);
+        }
+    }
+}
+
+/// The radius-`r` truncation τ(T(G, v)) of the view of `G` from `v`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewTree {
+    /// The root λ.
+    pub root: ViewNode,
+    /// The truncation radius.
+    pub radius: usize,
+    /// The alphabet size |L| of the underlying L-digraph.
+    pub alphabet: usize,
+}
+
+impl ViewTree {
+    /// Number of vertices (non-backtracking walks of length ≤ r).
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// The vertex set as sorted reduced words.
+    pub fn words(&self) -> Vec<Word> {
+        let mut out = Vec::new();
+        self.root.collect_words(&Word::empty(), &mut out);
+        out.sort();
+        out
+    }
+
+    /// Whether `self` is a subtree of `other` rooted at the root
+    /// (every walk of `self` is a walk of `other`).
+    pub fn embeds_in(&self, other: &ViewTree) -> bool {
+        fn rec(a: &ViewNode, b: &ViewNode) -> bool {
+            a.children.iter().all(|(l, ac)| match b.child(*l) {
+                Some(bc) => rec(ac, bc),
+                None => false,
+            })
+        }
+        rec(&self.root, &other.root)
+    }
+}
+
+fn build(d: &LDigraph, node: NodeId, last: Option<Letter>, depth: usize) -> ViewNode {
+    if depth == 0 {
+        return ViewNode::leaf();
+    }
+    let mut children = Vec::new();
+    for label in 0..d.alphabet_size() {
+        if let Some(u) = d.out_neighbor(node, label) {
+            let letter = Letter::pos(label);
+            // following `letter` backtracks iff it undoes the last letter
+            if last != Some(letter.inv()) {
+                children.push((letter, build(d, u, Some(letter), depth - 1)));
+            }
+        }
+        if let Some(u) = d.in_neighbor(node, label) {
+            let letter = Letter::neg(label);
+            if last != Some(letter.inv()) {
+                children.push((letter, build(d, u, Some(letter), depth - 1)));
+            }
+        }
+    }
+    children.sort_by_key(|&(l, _)| l);
+    ViewNode { children }
+}
+
+/// Computes the canonical radius-`r` view τ(T(G, v)).
+///
+/// ```
+/// use locap_graph::gen;
+/// use locap_lifts::view;
+///
+/// // In a directed cycle every node has the same view — PO algorithms
+/// // cannot break symmetry (Fig. 2, right).
+/// let g = gen::directed_cycle(5);
+/// let t0 = view(&g, 0, 3);
+/// for v in 1..5 {
+///     assert_eq!(view(&g, v, 3), t0);
+/// }
+/// assert_eq!(t0.size(), 1 + 2 * 3); // path of walks: a, aa, aaa, a⁻¹, …
+/// ```
+pub fn view(d: &LDigraph, v: NodeId, r: usize) -> ViewTree {
+    ViewTree { root: build(d, v, None, r), radius: r, alphabet: d.alphabet_size() }
+}
+
+/// Counts the distinct radius-`r` views of all nodes; most frequent first.
+/// A graph is *PO-symmetric at radius r* when this census has one entry —
+/// then every PO algorithm must produce the same output everywhere.
+pub fn view_census(d: &LDigraph, r: usize) -> Vec<(ViewTree, usize)> {
+    let mut counts: HashMap<ViewTree, usize> = HashMap::new();
+    for v in 0..d.node_count() {
+        *counts.entry(view(d, v, r)).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::gen;
+    use locap_graph::product::toroidal;
+
+    #[test]
+    fn directed_cycle_views_identical() {
+        let g = gen::directed_cycle(7);
+        let census = view_census(&g, 3);
+        assert_eq!(census.len(), 1, "all views identical");
+        assert_eq!(census[0].1, 7);
+    }
+
+    #[test]
+    fn view_of_directed_cycle_is_path() {
+        let g = gen::directed_cycle(7);
+        let t = view(&g, 0, 2);
+        // walks: λ, a, aa, a⁻¹, a⁻¹a⁻¹
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.root.depth(), 2);
+        let words: Vec<String> = t.words().iter().map(|w| w.to_string()).collect();
+        assert!(words.contains(&"aa".to_string()));
+        assert!(words.contains(&"a\u{207b}\u{00b9}a\u{207b}\u{00b9}".to_string()));
+    }
+
+    #[test]
+    fn view_detects_asymmetry() {
+        // A directed path 0 -> 1 -> 2: endpoints see different views.
+        let mut d = LDigraph::new(3, 1);
+        d.add_edge(0, 1, 0).unwrap();
+        d.add_edge(1, 2, 0).unwrap();
+        let v0 = view(&d, 0, 2);
+        let v1 = view(&d, 1, 2);
+        let v2 = view(&d, 2, 2);
+        assert_ne!(v0, v1);
+        assert_ne!(v0, v2);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn toroidal_views_identical() {
+        // Cayley graphs are vertex-transitive with consistent labels:
+        // one view class even though girth is 4 < 2r+1.
+        let t = toroidal(2, 4);
+        let census = view_census(&t, 2);
+        assert_eq!(census.len(), 1);
+        assert_eq!(census[0].1, 16);
+    }
+
+    #[test]
+    fn view_size_on_label_complete_graph() {
+        // In a label-complete L-digraph with girth > 2r+1, the view is the
+        // complete tree: every non-root node has 2|L| - 1 children.
+        let g = gen::directed_cycle(9); // |L| = 1
+        let t = view(&g, 0, 4);
+        assert_eq!(t.size(), 9); // 1 + 2*4 walks
+        let t2 = toroidal(2, 5); // |L| = 2, girth 4: not a tree at r >= 2
+        let v = view(&t2, 0, 1);
+        assert_eq!(v.size(), 5); // 1 + 2*|L| at radius 1 regardless of girth
+    }
+
+    #[test]
+    fn embeds_in_relation() {
+        let g = gen::directed_cycle(9);
+        let small = view(&g, 0, 2);
+        let big = view(&g, 0, 4);
+        assert!(small.embeds_in(&big));
+        assert!(!big.embeds_in(&small));
+        assert!(small.embeds_in(&small));
+    }
+
+    #[test]
+    fn child_lookup() {
+        let g = gen::directed_cycle(5);
+        let t = view(&g, 0, 2);
+        let fwd = t.root.child(Letter::pos(0)).unwrap();
+        assert_eq!(fwd.children.len(), 1, "non-backtracking: only forward");
+        assert!(t.root.child(Letter::pos(1)).is_none());
+    }
+
+    #[test]
+    fn census_separates_degrees() {
+        // A star with PO structure: centre vs leaves have different views.
+        let s = gen::star(3);
+        let po = locap_graph::PoGraph::canonical(&s);
+        let census = view_census(po.digraph(), 1);
+        // centre type (1 node) + leaf types; leaves differ by which port of
+        // the centre they hang off, so views differ in the incoming label.
+        let total: usize = census.iter().map(|x| x.1).sum();
+        assert_eq!(total, 4);
+        assert!(census.len() >= 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Reduced words over `L ∪ L⁻¹` — the vertices of view trees (paper §2.5).
+
+use std::fmt;
+
+/// A letter: a label `ℓ ∈ L` or its formal inverse `ℓ⁻¹`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Letter {
+    /// The underlying label index.
+    pub label: usize,
+    /// Whether this is the inverse letter `ℓ⁻¹`.
+    pub inverse: bool,
+}
+
+impl Letter {
+    /// The positive letter `ℓ`.
+    pub fn pos(label: usize) -> Letter {
+        Letter { label, inverse: false }
+    }
+
+    /// The inverse letter `ℓ⁻¹`.
+    pub fn neg(label: usize) -> Letter {
+        Letter { label, inverse: true }
+    }
+
+    /// The formal inverse of this letter.
+    pub fn inv(&self) -> Letter {
+        Letter { label: self.label, inverse: !self.inverse }
+    }
+}
+
+impl fmt::Display for Letter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Labels 0..26 print as a, b, c, …; larger labels as l27, l28, …
+        if self.label < 26 {
+            let c = (b'a' + self.label as u8) as char;
+            write!(f, "{c}")?;
+        } else {
+            write!(f, "l{}", self.label)?;
+        }
+        if self.inverse {
+            write!(f, "\u{207b}\u{00b9}")?; // superscript -1
+        }
+        Ok(())
+    }
+}
+
+/// A *reduced* word over `L ∪ L⁻¹`: no `ℓℓ⁻¹` or `ℓ⁻¹ℓ` factor.
+/// Reduction happens automatically on [`Word::push`].
+///
+/// Words name non-backtracking walks: the empty word λ is the root of a
+/// view, and appending a letter follows an edge (forwards for `ℓ`,
+/// backwards for `ℓ⁻¹`).
+///
+/// # Examples
+///
+/// ```
+/// use locap_lifts::{Letter, Word};
+///
+/// let mut w = Word::empty();
+/// w.push(Letter::pos(1)); // b
+/// w.push(Letter::neg(0)); // a⁻¹
+/// assert_eq!(w.to_string(), "ba\u{207b}\u{00b9}");
+/// w.push(Letter::pos(0)); // cancels a⁻¹
+/// assert_eq!(w.to_string(), "b");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Word {
+    letters: Vec<Letter>,
+}
+
+impl Word {
+    /// The empty word λ.
+    pub fn empty() -> Word {
+        Word { letters: Vec::new() }
+    }
+
+    /// Builds a word from letters, reducing as it goes.
+    pub fn from_letters(letters: impl IntoIterator<Item = Letter>) -> Word {
+        let mut w = Word::empty();
+        for l in letters {
+            w.push(l);
+        }
+        w
+    }
+
+    /// Appends a letter, cancelling it against the last letter if they are
+    /// mutually inverse.
+    pub fn push(&mut self, l: Letter) {
+        if self.letters.last() == Some(&l.inv()) {
+            self.letters.pop();
+        } else {
+            self.letters.push(l);
+        }
+    }
+
+    /// The reduced length.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether this is the empty word λ.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The letters of the reduced word.
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
+    }
+
+    /// The word with the last letter removed (the parent in a view tree).
+    pub fn parent(&self) -> Option<Word> {
+        if self.letters.is_empty() {
+            None
+        } else {
+            Some(Word { letters: self.letters[..self.letters.len() - 1].to_vec() })
+        }
+    }
+
+    /// The last letter, if any.
+    pub fn last(&self) -> Option<Letter> {
+        self.letters.last().copied()
+    }
+
+    /// The concatenation `self · other`, reduced.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut w = self.clone();
+        for &l in &other.letters {
+            w.push(l);
+        }
+        w
+    }
+
+    /// The formal inverse (letters reversed and inverted).
+    pub fn inverse(&self) -> Word {
+        Word { letters: self.letters.iter().rev().map(Letter::inv).collect() }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.letters.is_empty() {
+            return write!(f, "\u{03bb}"); // λ
+        }
+        for l in &self.letters {
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letter_display_and_inverse() {
+        assert_eq!(Letter::pos(0).to_string(), "a");
+        assert_eq!(Letter::pos(2).to_string(), "c");
+        assert_eq!(Letter::neg(1).to_string(), "b\u{207b}\u{00b9}");
+        assert_eq!(Letter::pos(30).to_string(), "l30");
+        assert_eq!(Letter::pos(3).inv(), Letter::neg(3));
+        assert_eq!(Letter::neg(3).inv(), Letter::pos(3));
+    }
+
+    #[test]
+    fn reduction() {
+        let w = Word::from_letters([Letter::pos(0), Letter::pos(0), Letter::neg(1)]);
+        assert_eq!(w.len(), 3);
+        // aab⁻¹ then b reduces to aa
+        let w2 = w.concat(&Word::from_letters([Letter::pos(1)]));
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2.to_string(), "aa");
+        // full cancellation
+        let mut w3 = Word::empty();
+        w3.push(Letter::pos(0));
+        w3.push(Letter::neg(0));
+        assert!(w3.is_empty());
+        assert_eq!(w3.to_string(), "\u{03bb}");
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let w = Word::from_letters([Letter::pos(0), Letter::neg(1), Letter::pos(2)]);
+        let id = w.concat(&w.inverse());
+        assert!(id.is_empty());
+        let id2 = w.inverse().concat(&w);
+        assert!(id2.is_empty());
+    }
+
+    #[test]
+    fn parent_and_last() {
+        let w = Word::from_letters([Letter::pos(1), Letter::neg(0)]);
+        assert_eq!(w.last(), Some(Letter::neg(0)));
+        let p = w.parent().unwrap();
+        assert_eq!(p.to_string(), "b");
+        assert_eq!(Word::empty().parent(), None);
+    }
+
+    #[test]
+    fn paper_fig4_walk_names() {
+        // Fig. 4c names walks like "ba⁻¹a⁻¹c"
+        let w = Word::from_letters([
+            Letter::pos(1),
+            Letter::neg(0),
+            Letter::neg(0),
+            Letter::pos(2),
+        ]);
+        assert_eq!(w.to_string(), "ba\u{207b}\u{00b9}a\u{207b}\u{00b9}c");
+        assert_eq!(w.len(), 4);
+    }
+}

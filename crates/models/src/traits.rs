@@ -1,0 +1,209 @@
+use std::collections::HashMap;
+
+use locap_graph::canon::{IdNbhd, OrderedNbhd};
+use locap_lifts::{Letter, ViewTree};
+
+/// A local **ID** algorithm producing one bit per node (vertex-subset
+/// problems): a function of the identifier-labelled radius-`r`
+/// neighbourhood.
+pub trait IdVertexAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Whether the centre node joins the solution.
+    fn evaluate(&self, nbhd: &IdNbhd) -> bool;
+}
+
+/// A local **ID** algorithm producing one bit per incident edge.
+///
+/// The output vector is indexed by the centre's incident edges *sorted by
+/// neighbour identifier* (the natural edge ordering available in the ID
+/// model); it must have length equal to the centre's degree.
+pub trait IdEdgeAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Selection bits for the centre's incident edges in neighbour-id order.
+    fn evaluate(&self, nbhd: &IdNbhd) -> Vec<bool>;
+}
+
+/// A local **OI** algorithm producing one bit per node: a function of the
+/// order-isomorphism type of the ordered radius-`r` neighbourhood.
+pub trait OiVertexAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Whether the centre node joins the solution.
+    fn evaluate(&self, nbhd: &OrderedNbhd) -> bool;
+}
+
+/// A local **OI** algorithm producing one bit per incident edge, indexed by
+/// the centre's incident edges sorted by neighbour order.
+pub trait OiEdgeAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Selection bits for the centre's incident edges in neighbour-rank
+    /// order.
+    fn evaluate(&self, nbhd: &OrderedNbhd) -> Vec<bool>;
+}
+
+/// A local **PO** algorithm producing one bit per node: a function of the
+/// radius-`r` view.
+pub trait PoVertexAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Whether the centre node joins the solution.
+    fn evaluate(&self, view: &ViewTree) -> bool;
+}
+
+/// A local **PO** algorithm producing one bit per incident edge.
+///
+/// The centre's incident edges correspond to the root's child letters of
+/// the view (positive letter `ℓ` = the outgoing edge labelled `ℓ`,
+/// inverse letter = the incoming edge); the output maps each such letter
+/// to a selection bit.
+pub trait PoEdgeAlgorithm {
+    /// The constant run-time `r`.
+    fn radius(&self) -> usize;
+    /// Selection bits per root letter.
+    fn evaluate(&self, view: &ViewTree) -> Vec<(Letter, bool)>;
+}
+
+/// A PO vertex algorithm given by an explicit lookup table — the finite
+/// object `B : W → Ω` of the paper (§2.5, §4.2). Views not present in the
+/// table evaluate to `default`.
+#[derive(Debug, Clone)]
+pub struct PoTableAlgorithm {
+    radius: usize,
+    table: HashMap<ViewTree, bool>,
+    default: bool,
+}
+
+impl PoTableAlgorithm {
+    /// Creates a table algorithm.
+    pub fn new(radius: usize, table: HashMap<ViewTree, bool>, default: bool) -> PoTableAlgorithm {
+        PoTableAlgorithm { radius, table, default }
+    }
+
+    /// Number of explicit entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The table entry for `view`, if explicit.
+    pub fn lookup(&self, view: &ViewTree) -> Option<bool> {
+        self.table.get(view).copied()
+    }
+}
+
+impl PoVertexAlgorithm for PoTableAlgorithm {
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    fn evaluate(&self, view: &ViewTree) -> bool {
+        self.table.get(view).copied().unwrap_or(self.default)
+    }
+}
+
+// Blanket impls so `&A` works wherever `A` does.
+impl<A: IdVertexAlgorithm + ?Sized> IdVertexAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, nbhd: &IdNbhd) -> bool {
+        (**self).evaluate(nbhd)
+    }
+}
+
+impl<A: OiVertexAlgorithm + ?Sized> OiVertexAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, nbhd: &OrderedNbhd) -> bool {
+        (**self).evaluate(nbhd)
+    }
+}
+
+impl<A: PoVertexAlgorithm + ?Sized> PoVertexAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, view: &ViewTree) -> bool {
+        (**self).evaluate(view)
+    }
+}
+
+impl<A: IdEdgeAlgorithm + ?Sized> IdEdgeAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, nbhd: &IdNbhd) -> Vec<bool> {
+        (**self).evaluate(nbhd)
+    }
+}
+
+impl<A: OiEdgeAlgorithm + ?Sized> OiEdgeAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, nbhd: &OrderedNbhd) -> Vec<bool> {
+        (**self).evaluate(nbhd)
+    }
+}
+
+impl<A: PoEdgeAlgorithm + ?Sized> PoEdgeAlgorithm for &A {
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn evaluate(&self, view: &ViewTree) -> Vec<(Letter, bool)> {
+        (**self).evaluate(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::gen;
+    use locap_lifts::view;
+
+    #[test]
+    fn table_algorithm_lookup_and_default() {
+        let g = gen::directed_cycle(5);
+        let v0 = view(&g, 0, 1);
+        let mut table = HashMap::new();
+        table.insert(v0.clone(), true);
+        let algo = PoTableAlgorithm::new(1, table, false);
+        assert_eq!(algo.radius(), 1);
+        assert_eq!(algo.table_len(), 1);
+        assert!(algo.evaluate(&v0));
+        assert_eq!(algo.lookup(&v0), Some(true));
+        let other = view(&gen::directed_cycle(4), 0, 1);
+        // same view actually (both symmetric cycles): lookup hits
+        assert_eq!(algo.lookup(&other), Some(true));
+        // a genuinely different view falls back to the default
+        let asym = {
+            let mut d = locap_graph::LDigraph::new(2, 1);
+            d.add_edge(0, 1, 0).unwrap();
+            view(&d, 0, 1)
+        };
+        assert_eq!(algo.lookup(&asym), None);
+        assert!(!algo.evaluate(&asym));
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        struct Always;
+        impl PoVertexAlgorithm for Always {
+            fn radius(&self) -> usize {
+                0
+            }
+            fn evaluate(&self, _: &ViewTree) -> bool {
+                true
+            }
+        }
+        fn takes_algo<A: PoVertexAlgorithm>(a: A) -> usize {
+            a.radius()
+        }
+        let a = Always;
+        assert_eq!(takes_algo(&a), 0);
+        assert_eq!(takes_algo(a), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimum edge cover.
+//!
+//! Locally 2-approximable, and no better, in all three models (paper §1.4).
+//! Exact optimum via Gallai's identity ρ(G) = n − ν(G), with an explicit
+//! witness built from a maximum matching.
+
+use locap_graph::{Edge, Graph, NodeId};
+
+use crate::{matching, EdgeSet, Goal};
+
+/// Optimisation direction.
+pub const GOAL: Goal = Goal::Minimize;
+
+/// Whether every node is incident to some member of `x` (and members are
+/// real edges). Graphs with isolated nodes have no edge cover.
+pub fn feasible(g: &Graph, x: &EdgeSet) -> bool {
+    x.iter().all(|e| g.has_edge(e.u, e.v))
+        && g.nodes().all(|v| x.iter().any(|e| e.touches(v)))
+}
+
+/// Radius-1 local verifier: `v` accepts iff some incident edge is in `x`
+/// (and its incident members are real edges).
+pub fn local_check(g: &Graph, x: &EdgeSet, v: NodeId) -> bool {
+    let mut any = false;
+    for e in x.iter().filter(|e| e.touches(v)) {
+        if !g.has_edge(e.u, e.v) {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Exact minimum edge cover: extend a maximum matching by one edge per
+/// unmatched vertex (Gallai). Returns `None` if the graph has an isolated
+/// node (no edge cover exists).
+pub fn solve_exact(g: &Graph) -> Option<EdgeSet> {
+    if g.nodes().any(|v| g.degree(v) == 0) {
+        return None;
+    }
+    let mut cover = matching::solve_exact(g);
+    let mut covered = vec![false; g.node_count()];
+    for e in &cover {
+        covered[e.u] = true;
+        covered[e.v] = true;
+    }
+    for v in g.nodes() {
+        if !covered[v] {
+            let u = g.neighbors(v)[0];
+            cover.insert(Edge::new(v, u));
+            covered[v] = true;
+            // u was already covered or becomes covered; either way fine
+            covered[u] = true;
+        }
+    }
+    Some(cover)
+}
+
+/// The exact optimum value ρ(G) = n − ν(G); `None` for graphs with
+/// isolated nodes.
+pub fn opt_value(g: &Graph) -> Option<usize> {
+    solve_exact(g).map(|c| c.len())
+}
+
+/// Greedy baseline: a greedy maximal matching extended by one edge per
+/// uncovered vertex (the classical 2-approximation, also how the local
+/// algorithm works).
+pub fn greedy(g: &Graph) -> Option<EdgeSet> {
+    if g.nodes().any(|v| g.degree(v) == 0) {
+        return None;
+    }
+    let mut cover = matching::greedy_maximal(g);
+    let mut covered = vec![false; g.node_count()];
+    for e in &cover {
+        covered[e.u] = true;
+        covered[e.v] = true;
+    }
+    for v in g.nodes() {
+        if !covered[v] {
+            let u = g.neighbors(v)[0];
+            cover.insert(Edge::new(v, u));
+            covered[v] = true;
+        }
+    }
+    Some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::suite;
+    use locap_graph::gen;
+
+    #[test]
+    fn known_optima_gallai() {
+        assert_eq!(opt_value(&gen::cycle(5)), Some(3));
+        assert_eq!(opt_value(&gen::cycle(6)), Some(3));
+        assert_eq!(opt_value(&gen::path(4)), Some(2));
+        assert_eq!(opt_value(&gen::complete(4)), Some(2));
+        assert_eq!(opt_value(&gen::star(6)), Some(6));
+        assert_eq!(opt_value(&gen::petersen()), Some(5));
+        for (name, g) in suite() {
+            if let Some(rho) = opt_value(&g) {
+                assert_eq!(rho, g.node_count() - matching::opt_value(&g), "{name}: ρ = n − ν");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_infeasible() {
+        let g = Graph::new(3); // no edges at all
+        assert_eq!(solve_exact(&g), None);
+        assert_eq!(greedy(&g), None);
+        assert!(!feasible(&g, &EdgeSet::new()));
+    }
+
+    #[test]
+    fn solutions_feasible_and_greedy_at_most_twice_opt() {
+        for (name, g) in suite() {
+            let opt = solve_exact(&g).unwrap();
+            assert!(feasible(&g, &opt), "{name}");
+            let gr = greedy(&g).unwrap();
+            assert!(feasible(&g, &gr), "{name}");
+            assert!(gr.len() <= 2 * opt.len(), "{name}: greedy within factor 2");
+        }
+    }
+
+    #[test]
+    fn local_check_matches_feasible_on_random_subsets() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(37);
+        for (name, g) in suite() {
+            for _ in 0..30 {
+                let x: EdgeSet = g.edges().filter(|_| rng.gen_bool(0.5)).collect();
+                let all_accept = g.nodes().all(|v| local_check(&g, &x, v));
+                assert_eq!(all_accept, feasible(&g, &x), "{name}");
+            }
+        }
+    }
+}

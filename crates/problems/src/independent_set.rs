@@ -1,0 +1,165 @@
+//! Maximum independent set.
+//!
+//! Not approximable to within any constant factor by deterministic local
+//! algorithms in any of ID/OI/PO (paper §1.4); the symmetric-instance
+//! argument is exercised in `locap-core`/E12.
+
+use locap_graph::{Graph, NodeId};
+
+use crate::{Goal, VertexSet};
+
+/// Optimisation direction.
+pub const GOAL: Goal = Goal::Maximize;
+
+/// Whether `x` is independent (no two adjacent members).
+pub fn feasible(g: &Graph, x: &VertexSet) -> bool {
+    x.iter().all(|&v| g.neighbors(v).iter().all(|u| !x.contains(u)))
+}
+
+/// Radius-1 local verifier: `v` accepts unless it is in `x` together with
+/// one of its neighbours.
+pub fn local_check(g: &Graph, x: &VertexSet, v: NodeId) -> bool {
+    !x.contains(&v) || g.neighbors(v).iter().all(|u| !x.contains(u))
+}
+
+/// Greedy baseline: repeatedly add a minimum-degree vertex of the
+/// remaining graph and delete its closed neighbourhood.
+pub fn greedy(g: &Graph) -> VertexSet {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    let mut x = VertexSet::new();
+    loop {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let deg = g.neighbors(v).iter().filter(|&&u| alive[u]).count();
+            if best.map_or(true, |(b, _)| deg < b) {
+                best = Some((deg, v));
+            }
+        }
+        match best {
+            None => break,
+            Some((_, v)) => {
+                x.insert(v);
+                alive[v] = false;
+                for &u in g.neighbors(v) {
+                    alive[u] = false;
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Exact maximum independent set by branch and bound over `u128` masks.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 128 nodes.
+pub fn solve_exact(g: &Graph) -> VertexSet {
+    assert!(g.node_count() <= 128, "exact solver supports at most 128 nodes");
+    let n = g.node_count();
+    let nbr: Vec<u128> = (0..n)
+        .map(|v| g.neighbors(v).iter().fold(0u128, |m, &u| m | (1 << u)))
+        .collect();
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+
+    let mut best: u128 = greedy(g).iter().fold(0u128, |m, &v| m | (1 << v));
+
+    fn rec(remaining: u128, chosen: u128, nbr: &[u128], best: &mut u128) {
+        if remaining == 0 {
+            if chosen.count_ones() > best.count_ones() {
+                *best = chosen;
+            }
+            return;
+        }
+        if chosen.count_ones() + remaining.count_ones() <= best.count_ones() {
+            return; // cannot beat the incumbent
+        }
+        // branch on the highest-degree remaining vertex
+        let mut pick = remaining.trailing_zeros() as usize;
+        let mut pick_deg = 0;
+        let mut m = remaining;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let d = (nbr[v] & remaining).count_ones();
+            if d > pick_deg {
+                pick_deg = d;
+                pick = v;
+            }
+        }
+        // include pick
+        rec(remaining & !nbr[pick] & !(1u128 << pick), chosen | (1u128 << pick), nbr, best);
+        // exclude pick
+        rec(remaining & !(1u128 << pick), chosen, nbr, best);
+    }
+
+    rec(full, 0, &nbr, &mut best);
+    (0..n).filter(|&v| best & (1 << v) != 0).collect()
+}
+
+/// The exact optimum value α(G).
+pub fn opt_value(g: &Graph) -> usize {
+    solve_exact(g).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::suite;
+    use locap_graph::gen;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(opt_value(&gen::cycle(5)), 2);
+        assert_eq!(opt_value(&gen::cycle(6)), 3);
+        assert_eq!(opt_value(&gen::path(4)), 2);
+        assert_eq!(opt_value(&gen::complete(4)), 1);
+        assert_eq!(opt_value(&gen::complete_bipartite(2, 3)), 3);
+        assert_eq!(opt_value(&gen::star(6)), 6);
+        assert_eq!(opt_value(&gen::petersen()), 4);
+        assert_eq!(opt_value(&gen::hypercube(3)), 4);
+    }
+
+    #[test]
+    fn gallai_identity_alpha_plus_tau_is_n() {
+        for (name, g) in suite() {
+            let alpha = opt_value(&g);
+            let tau = crate::vertex_cover::opt_value(&g);
+            assert_eq!(alpha + tau, g.node_count(), "{name}: α + τ = n");
+        }
+    }
+
+    #[test]
+    fn exact_is_feasible_and_dominates_greedy() {
+        for (name, g) in suite() {
+            let opt = solve_exact(&g);
+            assert!(feasible(&g, &opt), "{name}");
+            let gr = greedy(&g);
+            assert!(feasible(&g, &gr), "{name}");
+            assert!(gr.len() <= opt.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn local_check_matches_feasible_on_random_subsets() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for (name, g) in suite() {
+            for _ in 0..30 {
+                let x: VertexSet = g.nodes().filter(|_| rng.gen_bool(0.4)).collect();
+                let all_accept = g.nodes().all(|v| local_check(&g, &x, v));
+                assert_eq!(all_accept, feasible(&g, &x), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_is_independent() {
+        let g = gen::complete(5);
+        assert!(feasible(&g, &VertexSet::new()));
+    }
+}

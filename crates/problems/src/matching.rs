@@ -1,0 +1,174 @@
+//! Matchings: maximum matching (the optimisation problem of §1.4, not
+//! constant-factor approximable locally) and maximal matching (the
+//! classical Ω(log* n) barrier, Fig. 2 discussion).
+
+use locap_graph::{Edge, Graph, NodeId};
+
+use crate::{EdgeSet, Goal};
+
+/// Optimisation direction (maximum matching).
+pub const GOAL: Goal = Goal::Maximize;
+
+/// Whether `x` is a matching (no two members share an endpoint).
+pub fn feasible(g: &Graph, x: &EdgeSet) -> bool {
+    if !x.iter().all(|e| g.has_edge(e.u, e.v)) {
+        return false;
+    }
+    let mut used = vec![false; g.node_count()];
+    for e in x {
+        if used[e.u] || used[e.v] {
+            return false;
+        }
+        used[e.u] = true;
+        used[e.v] = true;
+    }
+    true
+}
+
+/// Radius-1 local verifier: `v` accepts iff at most one incident edge is in
+/// `x` (and all members incident to `v` are real edges).
+pub fn local_check(g: &Graph, x: &EdgeSet, v: NodeId) -> bool {
+    let incident: Vec<&Edge> = x.iter().filter(|e| e.touches(v)).collect();
+    incident.len() <= 1 && incident.iter().all(|e| g.has_edge(e.u, e.v))
+}
+
+/// Whether a matching is *maximal* (no edge can be added).
+pub fn is_maximal(g: &Graph, x: &EdgeSet) -> bool {
+    feasible(g, x)
+        && g.edges().all(|e| {
+            x.iter().any(|m| m.adjacent(&e))
+        })
+}
+
+/// Greedy maximal matching (scan edges in sorted order).
+pub fn greedy_maximal(g: &Graph) -> EdgeSet {
+    let mut used = vec![false; g.node_count()];
+    let mut m = EdgeSet::new();
+    for e in g.edges() {
+        if !used[e.u] && !used[e.v] {
+            used[e.u] = true;
+            used[e.v] = true;
+            m.insert(e);
+        }
+    }
+    m
+}
+
+/// Exact maximum matching by branch and bound over the edge list.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 128 nodes.
+pub fn solve_exact(g: &Graph) -> EdgeSet {
+    assert!(g.node_count() <= 128, "exact solver supports at most 128 nodes");
+    let edges = g.edge_vec();
+    let mut best: Vec<Edge> = greedy_maximal(g).into_iter().collect();
+    let mut current: Vec<Edge> = Vec::new();
+
+    fn rec(
+        edges: &[Edge],
+        i: usize,
+        used: u128,
+        current: &mut Vec<Edge>,
+        best: &mut Vec<Edge>,
+    ) {
+        // upper bound: everything that remains could be added
+        if current.len() + (edges.len() - i) <= best.len() {
+            return;
+        }
+        if i == edges.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        let e = edges[i];
+        if used & (1 << e.u) == 0 && used & (1 << e.v) == 0 {
+            current.push(e);
+            rec(edges, i + 1, used | (1 << e.u) | (1 << e.v), current, best);
+            current.pop();
+        }
+        rec(edges, i + 1, used, current, best);
+    }
+
+    rec(&edges, 0, 0, &mut current, &mut best);
+    if current.len() > best.len() {
+        best = current;
+    }
+    best.into_iter().collect()
+}
+
+/// The exact maximum matching size ν(G).
+pub fn opt_value(g: &Graph) -> usize {
+    solve_exact(g).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::suite;
+    use locap_graph::gen;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(opt_value(&gen::cycle(5)), 2);
+        assert_eq!(opt_value(&gen::cycle(6)), 3);
+        assert_eq!(opt_value(&gen::path(4)), 2);
+        assert_eq!(opt_value(&gen::complete(4)), 2);
+        assert_eq!(opt_value(&gen::complete_bipartite(2, 3)), 2);
+        assert_eq!(opt_value(&gen::star(6)), 1);
+        assert_eq!(opt_value(&gen::petersen()), 5);
+        assert_eq!(opt_value(&gen::hypercube(3)), 4);
+    }
+
+    #[test]
+    fn koenig_on_bipartite_instances() {
+        // König: in bipartite graphs ν = τ.
+        for g in [gen::complete_bipartite(2, 3), gen::path(4), gen::cycle(6), gen::hypercube(3)] {
+            assert_eq!(opt_value(&g), crate::vertex_cover::opt_value(&g));
+        }
+    }
+
+    #[test]
+    fn exact_feasible_greedy_maximal() {
+        for (name, g) in suite() {
+            let opt = solve_exact(&g);
+            assert!(feasible(&g, &opt), "{name}");
+            let gm = greedy_maximal(&g);
+            assert!(is_maximal(&g, &gm), "{name}");
+            assert!(gm.len() <= opt.len(), "{name}");
+            // maximal matching is at least half of maximum
+            assert!(2 * gm.len() >= opt.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn local_check_matches_feasible_on_random_subsets() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for (name, g) in suite() {
+            for _ in 0..30 {
+                let x: EdgeSet = g.edges().filter(|_| rng.gen_bool(0.3)).collect();
+                let all_accept = g.nodes().all(|v| local_check(&g, &x, v));
+                assert_eq!(all_accept, feasible(&g, &x), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_edges_rejected() {
+        let g = gen::path(3);
+        let x: EdgeSet = [Edge::new(0, 2)].into_iter().collect();
+        assert!(!feasible(&g, &x));
+        assert!(!local_check(&g, &x, 0));
+    }
+
+    #[test]
+    fn maximality_detection() {
+        let g = gen::path(4); // edges 01, 12, 23
+        let x: EdgeSet = [Edge::new(1, 2)].into_iter().collect();
+        assert!(is_maximal(&g, &x));
+        let y: EdgeSet = [Edge::new(0, 1)].into_iter().collect();
+        assert!(!is_maximal(&g, &y), "edge 23 could be added");
+    }
+}

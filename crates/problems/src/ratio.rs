@@ -1,0 +1,53 @@
+use locap_num::Ratio;
+
+/// Optimisation direction of a simple graph problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Minimise the solution size.
+    Minimize,
+    /// Maximise the solution size.
+    Maximize,
+}
+
+/// The exact approximation ratio of a feasible solution of size `found`
+/// against the optimum `opt`, normalised to be ≥ 1 in both directions
+/// (`found/opt` for minimisation, `opt/found` for maximisation).
+///
+/// Returns `None` when the ratio is undefined (zero denominator — e.g. an
+/// empty maximisation solution against a positive optimum).
+///
+/// # Examples
+///
+/// ```
+/// use locap_num::Ratio;
+/// use locap_problems::{approx_ratio, Goal};
+///
+/// assert_eq!(approx_ratio(6, 3, Goal::Minimize), Some(Ratio::from_int(2)));
+/// assert_eq!(approx_ratio(2, 5, Goal::Maximize), Some(Ratio::new(5, 2).unwrap()));
+/// assert_eq!(approx_ratio(0, 0, Goal::Minimize), Some(Ratio::ONE));
+/// assert_eq!(approx_ratio(0, 3, Goal::Maximize), None);
+/// ```
+pub fn approx_ratio(found: usize, opt: usize, goal: Goal) -> Option<Ratio> {
+    let (num, den) = match goal {
+        Goal::Minimize => (found, opt),
+        Goal::Maximize => (opt, found),
+    };
+    if den == 0 {
+        return if num == 0 { Some(Ratio::ONE) } else { None };
+    }
+    Some(Ratio::new(num as i128, den as i128).expect("small positive integers"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        assert_eq!(approx_ratio(4, 4, Goal::Minimize), Some(Ratio::ONE));
+        assert_eq!(approx_ratio(7, 2, Goal::Minimize), Some(Ratio::new(7, 2).unwrap()));
+        assert_eq!(approx_ratio(3, 9, Goal::Maximize), Some(Ratio::from_int(3)));
+        assert_eq!(approx_ratio(5, 0, Goal::Minimize), None);
+        assert_eq!(approx_ratio(0, 0, Goal::Maximize), Some(Ratio::ONE));
+    }
+}

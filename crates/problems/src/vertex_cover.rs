@@ -1,0 +1,170 @@
+//! Minimum vertex cover.
+//!
+//! Locally 2-approximable in all three models (paper §1.4); the PO
+//! algorithm lives in `locap-algos`. This module provides the problem
+//! definition, a radius-1 local verifier, an exact branch-and-bound solver
+//! and a greedy baseline.
+
+use locap_graph::{Graph, NodeId};
+
+use crate::{Goal, VertexSet};
+
+/// Optimisation direction.
+pub const GOAL: Goal = Goal::Minimize;
+
+/// Whether `x` covers every edge of `g`.
+pub fn feasible(g: &Graph, x: &VertexSet) -> bool {
+    g.edges().all(|e| x.contains(&e.u) || x.contains(&e.v))
+}
+
+/// Radius-1 local verifier: node `v` accepts iff all its incident edges are
+/// covered. All nodes accept ⟺ [`feasible`] (PO-checkability witness:
+/// the check uses only the ball `B(v, 1)` and the solution bits on it).
+pub fn local_check(g: &Graph, x: &VertexSet, v: NodeId) -> bool {
+    x.contains(&v) || g.neighbors(v).iter().all(|u| x.contains(u))
+}
+
+/// Greedy baseline: repeatedly add a vertex covering the most uncovered
+/// edges.
+pub fn greedy(g: &Graph) -> VertexSet {
+    let mut covered = vec![false; g.edge_count()];
+    let edges = g.edge_vec();
+    let mut x = VertexSet::new();
+    loop {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in g.nodes() {
+            if x.contains(&v) {
+                continue;
+            }
+            let gain =
+                edges.iter().enumerate().filter(|(i, e)| !covered[*i] && e.touches(v)).count();
+            if gain > 0 && best.map_or(true, |(b, _)| gain > b) {
+                best = Some((gain, v));
+            }
+        }
+        match best {
+            None => break,
+            Some((_, v)) => {
+                x.insert(v);
+                for (i, e) in edges.iter().enumerate() {
+                    if e.touches(v) {
+                        covered[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Exact minimum vertex cover by branch and bound on uncovered edges.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 128 nodes.
+pub fn solve_exact(g: &Graph) -> VertexSet {
+    assert!(g.node_count() <= 128, "exact solver supports at most 128 nodes");
+    let edges = g.edge_vec();
+    let mut best: Vec<NodeId> = greedy(g).into_iter().collect();
+    let mut current: Vec<NodeId> = Vec::new();
+
+    fn covered(mask: u128, e: &locap_graph::Edge) -> bool {
+        mask & (1 << e.u) != 0 || mask & (1 << e.v) != 0
+    }
+
+    fn rec(
+        edges: &[locap_graph::Edge],
+        mask: u128,
+        current: &mut Vec<NodeId>,
+        best: &mut Vec<NodeId>,
+    ) {
+        if current.len() >= best.len() {
+            return;
+        }
+        match edges.iter().find(|e| !covered(mask, e)) {
+            None => {
+                *best = current.clone();
+            }
+            Some(e) => {
+                for v in [e.u, e.v] {
+                    current.push(v);
+                    rec(edges, mask | (1 << v), current, best);
+                    current.pop();
+                }
+            }
+        }
+    }
+
+    rec(&edges, 0, &mut current, &mut best);
+    best.into_iter().collect()
+}
+
+/// The exact optimum value τ(G).
+pub fn opt_value(g: &Graph) -> usize {
+    solve_exact(g).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::suite;
+    use locap_graph::gen;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(opt_value(&gen::cycle(5)), 3);
+        assert_eq!(opt_value(&gen::cycle(6)), 3);
+        assert_eq!(opt_value(&gen::path(4)), 2); // wait: P4 edges 0-1,1-2,2-3 -> {1,2}
+        assert_eq!(opt_value(&gen::complete(4)), 3);
+        assert_eq!(opt_value(&gen::complete_bipartite(2, 3)), 2);
+        assert_eq!(opt_value(&gen::star(6)), 1);
+        assert_eq!(opt_value(&gen::petersen()), 6);
+    }
+
+    #[test]
+    fn exact_is_feasible_and_greedy_no_better() {
+        for (name, g) in suite() {
+            let opt = solve_exact(&g);
+            assert!(feasible(&g, &opt), "{name}");
+            let gr = greedy(&g);
+            assert!(feasible(&g, &gr), "{name}");
+            assert!(gr.len() >= opt.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn local_check_conjunction_is_feasibility() {
+        for (name, g) in suite() {
+            // exact solution: all accept
+            let opt = solve_exact(&g);
+            assert!(g.nodes().all(|v| local_check(&g, &opt, v)), "{name}");
+            // empty solution on a graph with edges: some node rejects
+            if g.edge_count() > 0 {
+                let empty = VertexSet::new();
+                assert!(!feasible(&g, &empty));
+                assert!(g.nodes().any(|v| !local_check(&g, &empty, v)), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_check_matches_feasible_on_random_subsets() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for (name, g) in suite() {
+            for _ in 0..30 {
+                let x: VertexSet = g.nodes().filter(|_| rng.gen_bool(0.4)).collect();
+                let all_accept = g.nodes().all(|v| local_check(&g, &x, v));
+                assert_eq!(all_accept, feasible(&g, &x), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let g = gen::cycle(4);
+        let x: VertexSet = [0].into_iter().collect();
+        assert!(!feasible(&g, &x));
+        assert!(!local_check(&g, &x, 2));
+    }
+}

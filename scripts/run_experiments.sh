@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates the raw outputs recorded in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p target/experiments
+for e in e01_models e02_separation e03_lifts e04_views e05_complete_tree \
+         e06_toroidal e07_homogeneous e08_homlift e09_oi_to_po \
+         e10_ramsey e11_eds e12_claims_table e13_growth e14_po_vs_pn; do
+  echo "== $e =="
+  cargo run --release -q -p locap-bench --bin "$e" | tee "target/experiments/$e.txt"
+done

@@ -1,0 +1,147 @@
+//! Failure injection: every verifier in the stack must *reject* doctored
+//! inputs. A reproduction whose checks cannot fail checks nothing.
+
+use std::collections::BTreeSet;
+
+use locap_core::eds_lower::{eds_instance, lower_bound_report, EdsInstance};
+use locap_core::homogeneous::construct;
+use locap_core::CoreError;
+use locap_graph::{gen, Edge, PoGraph};
+use locap_lifts::{trivial_lift, CoveringMap};
+use locap_models::checkable::verifiers::*;
+use locap_models::checkable::{verify_edge, verify_vertex};
+
+#[test]
+fn corrupted_covering_maps_rejected() {
+    let g = PoGraph::canonical(&gen::cycle(5)).digraph().clone();
+    let (h, phi) = trivial_lift(&g, 3);
+    phi.verify(&h, &g).unwrap();
+
+    // swap two images within different fibres: breaks local bijection
+    let mut bad = phi.as_slice().to_vec();
+    bad.swap(0, 1);
+    assert!(CoveringMap::new(bad).verify(&h, &g).is_err());
+
+    // constant map: not onto / wrong local structure
+    assert!(CoveringMap::new(vec![0; h.node_count()]).verify(&h, &g).is_err());
+
+    // truncated map
+    assert!(CoveringMap::new(vec![0; 3]).verify(&h, &g).is_err());
+}
+
+#[test]
+fn tampered_solutions_rejected_by_anonymous_verifiers() {
+    let g = gen::petersen();
+
+    // start from a valid vertex cover and delete one node
+    let cover = locap_problems::vertex_cover::solve_exact(&g);
+    assert!(verify_vertex(&g, &cover, &VertexCoverVerifier));
+    let mut broken = cover.clone();
+    let first = *broken.iter().next().unwrap();
+    broken.remove(&first);
+    assert!(!verify_vertex(&g, &broken, &VertexCoverVerifier));
+
+    // start from a valid EDS and delete one edge until infeasible
+    let eds = locap_problems::edge_dominating_set::solve_exact(&g);
+    assert!(verify_edge(&g, &eds, &EdsVerifier));
+    let mut broken: BTreeSet<Edge> = eds.clone();
+    let e = *broken.iter().next().unwrap();
+    broken.remove(&e);
+    assert!(
+        !verify_edge(&g, &broken, &EdsVerifier),
+        "removing an edge from a *minimum* EDS must break feasibility"
+    );
+}
+
+#[test]
+fn doctored_homogeneous_graphs_fail_verification() {
+    let h = construct(1, 1, 6).unwrap();
+    h.verify().unwrap();
+
+    // inflate the claimed census
+    let mut fake = h.clone();
+    fake.homogeneous_count = fake.node_count();
+    assert!(matches!(fake.verify(), Err(CoreError::VerificationFailed { .. })));
+
+    // reverse the order: every inner neighbourhood becomes the mirror of
+    // τ*, which is a *different* labelled type, so the recount collapses
+    let mut fake = h.clone();
+    let n = fake.rank.len();
+    for r in fake.rank.iter_mut() {
+        *r = n - 1 - *r;
+    }
+    assert!(fake.verify().is_err());
+
+    // break 2k-regularity by deleting an edge
+    let mut fake = h.clone();
+    let e = fake.digraph.edges().next().unwrap();
+    assert!(fake.digraph.remove_edge(e.from, e.to, e.label));
+    assert!(matches!(
+        fake.verify(),
+        Err(CoreError::VerificationFailed { property }) if property.contains("regular")
+    ));
+}
+
+#[test]
+fn eds_instance_with_broken_labelling_rejected() {
+    let inst = eds_instance(2, 9).unwrap();
+    lower_bound_report(&inst).unwrap();
+
+    // delete one labelled edge: label-completeness fails
+    let mut bad = EdsInstance {
+        digraph: inst.digraph.clone(),
+        delta_prime: inst.delta_prime,
+        lift_degree: inst.lift_degree,
+    };
+    let e = bad.digraph.edges().next().unwrap();
+    assert!(bad.digraph.remove_edge(e.from, e.to, e.label));
+    assert!(matches!(
+        lower_bound_report(&bad),
+        Err(CoreError::VerificationFailed { .. })
+    ));
+}
+
+#[test]
+fn improper_structures_rejected_at_construction() {
+    use locap_graph::{GraphError, LDigraph, OrderedGraph, PortNumbering};
+
+    // duplicate labels
+    let mut d = LDigraph::new(3, 1);
+    d.add_edge(0, 1, 0).unwrap();
+    assert!(matches!(d.add_edge(0, 2, 0), Err(GraphError::ImproperLabelling { .. })));
+
+    // bad port permutation
+    let g = gen::cycle(4);
+    let mut lists: Vec<Vec<usize>> = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
+    lists[0][0] = lists[0][1];
+    assert!(PortNumbering::from_lists(&g, lists).is_err());
+
+    // bad order
+    assert!(OrderedGraph::from_rank(gen::path(3), vec![0, 0, 2]).is_err());
+}
+
+#[test]
+fn non_monochromatic_pools_detected() {
+    use locap_core::ramsey::verify_monochromatic;
+    use locap_graph::canon::IdNbhd;
+    use locap_models::IdVertexAlgorithm;
+
+    #[derive(Clone)]
+    struct EvenId;
+    impl IdVertexAlgorithm for EvenId {
+        fn radius(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, t: &IdNbhd) -> bool {
+            t.ids[t.root as usize] % 2 == 0
+        }
+    }
+
+    // mixed-parity interior: not monochromatic for either bit
+    let j = vec![1u64, 2, 3, 4, 5];
+    assert!(!verify_monochromatic(&EvenId, &j, 1, true));
+    assert!(!verify_monochromatic(&EvenId, &j, 1, false));
+    // all-even interior: monochromatic for true
+    let j = vec![1u64, 2, 4, 6, 7];
+    assert!(verify_monochromatic(&EvenId, &j, 1, true));
+}

@@ -1,0 +1,142 @@
+//! Property-based cross-crate tests (proptest): invariants that must hold
+//! for arbitrary instances, not just the curated suite.
+
+use proptest::prelude::*;
+
+use locap_algos::double_cover::eds_double_cover;
+use locap_algos::edge_packing::{is_maximal_packing, maximal_edge_packing};
+use locap_graph::{gen, random, Graph, PoGraph, PortNumbering};
+use locap_lifts::{bipartite_double_cover, random_lift, view};
+use locap_problems::{edge_dominating_set, matching, vertex_cover};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    // random graphs on 4..12 nodes with edge probability ~1/2, no isolated
+    // constraint (handled per-property)
+    (4usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rand::Rng::gen_bool(&mut rng, 0.45) {
+                        g.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+            if g.edge_count() > 0 {
+                return g;
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Maximal edge packings exist and certify a vertex cover on any graph.
+    #[test]
+    fn prop_edge_packing_maximal_and_covering(g in arb_graph()) {
+        let p = maximal_edge_packing(&g).unwrap();
+        prop_assert!(is_maximal_packing(&g, &p.weights));
+        prop_assert!(vertex_cover::feasible(&g, &p.saturated));
+        prop_assert!(p.saturated.len() <= 2 * vertex_cover::opt_value(&g));
+    }
+
+    /// The double-cover EDS algorithm is always feasible.
+    #[test]
+    fn prop_eds_double_cover_feasible(g in arb_graph()) {
+        let ports = PortNumbering::sorted(&g);
+        let d = eds_double_cover(&g, &ports);
+        prop_assert!(edge_dominating_set::feasible(&g, &d));
+    }
+
+    /// The bipartite double cover doubles nodes and edges and is bipartite.
+    #[test]
+    fn prop_double_cover_structure(g in arb_graph()) {
+        let h = bipartite_double_cover(&g);
+        let n = g.node_count();
+        prop_assert_eq!(h.node_count(), 2 * n);
+        prop_assert_eq!(h.edge_count(), 2 * g.edge_count());
+        for e in h.edges() {
+            prop_assert!((e.u < n) != (e.v < n), "edges cross sides");
+        }
+    }
+
+    /// Views are invariant under random lifts of the canonical PO
+    /// structure, for any base graph.
+    #[test]
+    fn prop_views_lift_invariant(g in arb_graph(), l in 2usize..4, seed in any::<u64>()) {
+        let d = PoGraph::canonical(&g).digraph().clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (h, phi) = random_lift(&d, l, &mut rng);
+        phi.verify(&h, &d).unwrap();
+        for v in 0..h.node_count() {
+            prop_assert_eq!(view(&h, v, 2), view(&d, phi.image(v), 2));
+        }
+    }
+
+    /// Exact solvers are consistent with each other: Gallai and König-style
+    /// inequalities hold on arbitrary instances.
+    #[test]
+    fn prop_solver_inequalities(g in arb_graph()) {
+        let tau = vertex_cover::opt_value(&g);
+        let nu = matching::opt_value(&g);
+        let gamma_e = edge_dominating_set::opt_value(&g);
+        // ν ≤ τ ≤ 2ν (weak duality + matching-based cover)
+        prop_assert!(nu <= tau);
+        prop_assert!(tau <= 2 * nu);
+        // γ_e ≤ ν' for any maximal matching; and τ ≤ 2 γ_e... the latter
+        // holds because endpoints of an EDS form a vertex cover.
+        prop_assert!(tau <= 2 * gamma_e);
+        // γ_e ≤ ν when ν > 0 fails in general; but γ_e ≤ maximal matching:
+        let mm = matching::greedy_maximal(&g).len();
+        prop_assert!(gamma_e <= mm);
+    }
+
+    /// Exact minimum EDS never exceeds twice any maximal matching EDS.
+    #[test]
+    fn prop_eds_vs_matching(g in arb_graph()) {
+        let mm = matching::greedy_maximal(&g);
+        prop_assert!(edge_dominating_set::feasible(&g, &mm));
+        prop_assert!(mm.len() <= 2 * edge_dominating_set::opt_value(&g));
+    }
+}
+
+/// Random regular instances: the full PO stack holds for every seed.
+#[test]
+fn regular_graph_stack_deterministic_seeds() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random::random_regular(10, 3, 1000, &mut rng).unwrap();
+        let po = PoGraph::canonical(&g);
+        // every node's view embeds into T*
+        let t_star = locap_lifts::complete_tree(po.digraph().alphabet_size(), 2);
+        for v in 0..10 {
+            assert!(view(po.digraph(), v, 2).embeds_in(&t_star), "seed {seed}");
+        }
+    }
+}
+
+/// Degenerate instances behave: single edge, star, disjoint edges.
+#[test]
+fn degenerate_instances() {
+    let single = gen::path(2);
+    let p = maximal_edge_packing(&single).unwrap();
+    assert_eq!(p.saturated.len(), 2);
+
+    let star = gen::star(5);
+    let ports = PortNumbering::sorted(&star);
+    let d = eds_double_cover(&star, &ports);
+    assert!(edge_dominating_set::feasible(&star, &d));
+    assert_eq!(edge_dominating_set::opt_value(&star), 1);
+
+    let mut disjoint = Graph::new(6);
+    disjoint.add_edge(0, 1).unwrap();
+    disjoint.add_edge(2, 3).unwrap();
+    disjoint.add_edge(4, 5).unwrap();
+    assert_eq!(edge_dominating_set::opt_value(&disjoint), 3);
+    assert_eq!(vertex_cover::opt_value(&disjoint), 3);
+    assert_eq!(matching::opt_value(&disjoint), 3);
+}
