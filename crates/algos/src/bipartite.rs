@@ -87,8 +87,8 @@ pub fn maximum_matching_bipartite(g: &Graph) -> Option<BTreeSet<Edge>> {
         }
     }
     let mut out = BTreeSet::new();
-    for v in 0..n {
-        if let Some(u) = matched[v] {
+    for (v, m) in matched.iter().enumerate() {
+        if let Some(u) = *m {
             out.insert(Edge::new(v, u));
         }
     }

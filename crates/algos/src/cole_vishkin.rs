@@ -285,6 +285,8 @@ mod tests {
     use locap_problems::independent_set;
 
     #[test]
+    // expected values spelled as 2·index + bit, the CV encoding
+    #[allow(clippy::identity_op, clippy::erasing_op)]
     fn cv_step_properties() {
         // differing at bit 0
         assert_eq!(cv_step(0b1010, 0b1011), 2 * 0 + 1);

@@ -8,7 +8,7 @@
 
 use locap_bench::{banner, cells, Table};
 use locap_graph::{Graph, PoGraph};
-use locap_lifts::{t_star_size, view};
+use locap_lifts::{t_star_size, view, ViewCache};
 
 fn main() {
     banner("E04", "Fig. 4 — port numbering → L-digraph → view tree");
@@ -37,17 +37,30 @@ fn main() {
         d.alphabet_size(),
         t_star_size(d.alphabet_size(), 2));
 
-    println!("\nView sizes per node and radius:");
+    println!("\nView sizes per node and radius (via the shared ViewCache):");
+    let mut cache = ViewCache::new(d);
     let mut t = Table::new(&["node", "r=1", "r=2", "r=3"]);
     for node in 0..4 {
         t.row(&cells([
             &node,
-            &view(d, node, 1).size(),
-            &view(d, node, 2).size(),
-            &view(d, node, 3).size(),
+            &cache.view(node, 1).size(),
+            &cache.view(node, 2).size(),
+            &cache.view(node, 3).size(),
         ]));
     }
     t.print();
+
+    let stats = cache.stats();
+    println!(
+        "\nview-engine counters: {} states, classes by level {:?}, \
+         tree memo {} hits / {} misses, dedup {:.2}x, {} worker(s)",
+        stats.states,
+        stats.classes,
+        stats.tree_hits,
+        stats.tree_misses,
+        stats.dedup_ratio(),
+        stats.workers,
+    );
 
     println!("\nEvery view embeds into T* (checked): {}", {
         let t_star = locap_lifts::complete_tree(d.alphabet_size(), 2);

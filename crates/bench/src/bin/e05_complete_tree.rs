@@ -5,8 +5,11 @@
 //! structure (root degree 2|L|, inner degree 2|L|−1 children), and shows
 //! Fig. 5's instance |L| = 2, r = 2 explicitly.
 
+use std::time::Instant;
+
 use locap_bench::{banner, cells, Table};
-use locap_lifts::{complete_tree, reduced_words, t_star_size};
+use locap_core::eds_lower::eds_instance;
+use locap_lifts::{complete_tree, reduced_words, t_star_size, view_census, view_census_naive, ViewCache};
 
 fn main() {
     banner("E05", "Fig. 5 — the complete L-labelled tree (T*, λ)");
@@ -39,4 +42,45 @@ fn main() {
         .all(|(_, c)| c.children.len() == 3);
     println!("every depth-1 node has 3 children (= 2|L| − 1): {inner_ok}");
     println!("size matches closed formula: {}", tree.size() == t_star_size(2, 2));
+
+    // On a label-complete L-digraph every radius-r view IS (T*, λ), so the
+    // engine interns all n trees into a single class — the extreme case of
+    // its memoization. Compare against the per-vertex reference path.
+    println!("\nView engine on a label-complete instance (|L| = 2, every view = T*):\n");
+    let inst = eds_instance(4, 7 * 512).expect("4-regular lift instance");
+    let d = &inst.digraph;
+    let r = 3;
+    let t0 = Instant::now();
+    let naive = view_census_naive(d, r);
+    let t_naive = t0.elapsed();
+    let t0 = Instant::now();
+    let census = view_census(d, r);
+    let t_engine = t0.elapsed();
+    assert_eq!(naive, census, "engine census must be bit-identical");
+    let mut cache = ViewCache::new(d);
+    let _ = cache.census(r);
+    let stats = cache.stats();
+    println!(
+        "n = {}, r = {r}: {} view class(es), |view| = {} = t_star_size(2, {r}) = {}",
+        d.node_count(),
+        census.len(),
+        census[0].0.size(),
+        t_star_size(2, r),
+    );
+    println!(
+        "engine counters: {} states, classes by level {:?}, tree memo {} hits / {} misses, \
+         dedup {:.1}x, {} worker(s)",
+        stats.states,
+        stats.classes,
+        stats.tree_hits,
+        stats.tree_misses,
+        stats.dedup_ratio(),
+        stats.workers,
+    );
+    println!(
+        "census time: naive {:.2?} vs engine {:.2?} ({:.1}x)",
+        t_naive,
+        t_engine,
+        t_naive.as_secs_f64() / t_engine.as_secs_f64().max(1e-9),
+    );
 }

@@ -6,6 +6,8 @@
 //! ((m−2r)/m)^d, and that τ* is independent of m (the "independent of ε"
 //! clause of the theorem).
 
+use std::time::Instant;
+
 use locap_bench::{banner, cells, Table};
 use locap_core::homogeneous::{construct, construct_for_epsilon};
 use locap_num::Ratio;
@@ -15,9 +17,10 @@ fn main() {
 
     println!();
     let mut t = Table::new(&[
-        "k", "r", "m", "level", "n", "girth>", "gens", "census α", "bound ((m−2r)/m)^d",
+        "k", "r", "m", "level", "n", "girth>", "gens", "census α", "bound ((m−2r)/m)^d", "time",
     ]);
     let mut tau_consistency = Vec::new();
+    let total = Instant::now();
     for (k, r, ms) in [
         (1usize, 1usize, vec![6u64, 10, 16, 24]),
         (2, 1, vec![6, 10, 16]),
@@ -26,7 +29,10 @@ fn main() {
     ] {
         let mut taus = Vec::new();
         for &m in &ms {
-            match construct(k, r, m) {
+            let t0 = Instant::now();
+            let result = construct(k, r, m);
+            let dt = t0.elapsed();
+            match result {
                 Ok(h) => {
                     t.row(&cells([
                         &k,
@@ -38,6 +44,7 @@ fn main() {
                         &format!("{:?}", h.gens),
                         &format!("{} ≈ {:.4}", h.fraction(), h.fraction().to_f64()),
                         &format!("{} ≈ {:.4}", h.inner_bound(), h.inner_bound().to_f64()),
+                        &format!("{dt:.2?}"),
                     ]));
                     taus.push(h.tau_star.clone());
                 }
@@ -52,6 +59,7 @@ fn main() {
                         &format!("FAILED: {e}"),
                         &"-",
                         &"-",
+                        &format!("{dt:.2?}"),
                     ]));
                 }
             }
@@ -60,6 +68,7 @@ fn main() {
         tau_consistency.push((k, r, consistent));
     }
     t.print();
+    println!("\ntotal construction+census wall time: {:.2?}", total.elapsed());
 
     println!("\nτ* independence of ε (same type for every m):");
     for (k, r, ok) in tau_consistency {

@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 
 use locap_graph::factor::two_factor_labeling;
 use locap_graph::{Edge, Graph, LDigraph};
-use locap_lifts::{connect_copies, view_census};
+use locap_lifts::{connect_copies, ViewCache};
 use locap_num::Ratio;
 use locap_problems::edge_dominating_set;
 
@@ -153,9 +153,11 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
         });
     }
     // symmetry: all views isomorphic (label-completeness forces this at
-    // every radius; we re-check r = 1, 2 by exact census)
+    // every radius; we re-check r = 1, 2 by exact census). One shared
+    // ViewCache: the radius-2 refinement reuses the radius-1 levels.
+    let mut cache = ViewCache::new(d);
     for r in 1..=2 {
-        let census = view_census(d, r);
+        let census = cache.census(r);
         if census.len() != 1 {
             return Err(CoreError::VerificationFailed {
                 property: format!("{} view classes at radius {r}", census.len()),

@@ -28,7 +28,7 @@
 //! 2k-regularity, girth, the exact homogeneity census, and agreement of the
 //! census winner with the ε-independent τ* computed in `U`.
 
-use locap_graph::canon::{ordered_lnbhd_in, OrderedLNbhd};
+use locap_graph::canon::{ordered_lnbhd_fast, NbhdScratch, OrderedLNbhd};
 use locap_graph::LDigraph;
 use locap_groups::{cayley, Group, IterGroup};
 use locap_num::Ratio;
@@ -166,6 +166,9 @@ pub fn tau_star(level: usize, gens: &[Vec<i64>], r: usize) -> Result<OrderedLNbh
     Ok(OrderedLNbhd { n: ball.len() as u32, root, edges })
 }
 
+/// Vertex count below which the census stays sequential.
+const PARALLEL_MIN_NODES: usize = 1 << 10;
+
 fn census_count(
     d: &LDigraph,
     und: &locap_graph::Graph,
@@ -173,7 +176,28 @@ fn census_count(
     r: usize,
     tau: &OrderedLNbhd,
 ) -> usize {
-    (0..d.node_count()).filter(|&v| &ordered_lnbhd_in(d, und, rank, v, r) == tau).count()
+    let n = d.node_count();
+    let count_range = |lo: usize, hi: usize| {
+        let mut scratch = NbhdScratch::new();
+        (lo..hi)
+            .filter(|&v| &ordered_lnbhd_fast(d, und, rank, v, r, &mut scratch) == tau)
+            .count()
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if n < PARALLEL_MIN_NODES || workers < 2 {
+        return count_range(0, n);
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(n));
+                let count_range = &count_range;
+                s.spawn(move || count_range(lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("census worker panicked")).sum()
+    })
 }
 
 /// Searches the `{0,1}`-coordinate `k`-subsets for a generator set whose
@@ -251,7 +275,7 @@ pub fn find_generators(
                 });
             }
             i -= 1;
-            if idx[i] + 1 <= candidates.len() - (k - i) {
+            if idx[i] < candidates.len() - (k - i) {
                 idx[i] += 1;
                 for j in i + 1..k {
                     idx[j] = idx[j - 1] + 1;

@@ -70,12 +70,14 @@ impl<A> PoFromOi<A> {
             let ub = eval_word(&self.u, &self.gens, b);
             self.u.cmp_order(&ua, &ub).then_with(|| a.cmp(b))
         });
-        let pos = |w: &Word| words.iter().position(|x| x == w).expect("word present") as u32;
-        let root = pos(&Word::empty());
+        let pos: std::collections::HashMap<&Word, u32> =
+            words.iter().enumerate().map(|(i, w)| (w, i as u32)).collect();
+        let root = pos[&Word::empty()];
         let mut edges = Vec::new();
         for w in &words {
             if let Some(p) = w.parent() {
-                let (a, b) = (pos(w), pos(&p));
+                let a = pos[w];
+                let b = *pos.get(&p).expect("word present");
                 edges.push((a.min(b), a.max(b)));
             }
         }

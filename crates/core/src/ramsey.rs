@@ -123,7 +123,7 @@ fn all_t_subsets_with_last(set: &[u64], t: usize, mut f: impl FnMut(&[u64]) -> b
                 return true;
             }
             i -= 1;
-            if idx[i] + 1 <= rest.len() - (t - 1 - i) {
+            if idx[i] < rest.len() - (t - 1 - i) {
                 idx[i] += 1;
                 for j in i + 1..t - 1 {
                     idx[j] = idx[j - 1] + 1;

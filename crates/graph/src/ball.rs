@@ -59,8 +59,8 @@ impl Graph {
                 continue;
             }
             for &u in self.neighbors(x) {
-                if !dist.contains_key(&u) {
-                    dist.insert(u, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                    e.insert(d + 1);
                     q.push_back(u);
                 }
             }
@@ -96,7 +96,7 @@ impl Graph {
                         q.push_back(u);
                     }
                     Some(&du) => {
-                        if parent.get(&v) != Some(&u) && dv + du + 1 <= bound {
+                        if parent.get(&v) != Some(&u) && dv + du < bound {
                             return true;
                         }
                     }
@@ -212,7 +212,7 @@ impl Graph {
                         dist[u] = dist[v] + 1;
                         parent[u] = v;
                         q.push_back(u);
-                    } else if parent[v] != u && dist[v] + dist[u] + 1 <= g {
+                    } else if parent[v] != u && dist[v] + dist[u] < g {
                         return false;
                     }
                 }

@@ -187,6 +187,212 @@ pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
     IdNbhd { ids: ball.iter().map(|&u| ids[u]).collect(), root, edges }
 }
 
+/// Reusable workspace for the `*_fast` canonical-form extractors: an
+/// epoch-stamped membership/position map plus a BFS queue, giving
+/// `O(|ball| + |induced edges|)` per call with **no** per-call allocation
+/// beyond the output (the naive paths pay `O(|ball|²)` in
+/// `Vec::position` scans and a fresh `HashMap` per call).
+///
+/// One scratch serves one thread; parallel censuses give each worker its
+/// own (see [`ordered_type_census`]).
+#[derive(Debug, Default)]
+pub struct NbhdScratch {
+    /// `stamp[u] == epoch` iff `u` is in the current ball.
+    stamp: Vec<u32>,
+    /// Position of `u` in the current sorted ball (valid when stamped).
+    pos: Vec<u32>,
+    epoch: u32,
+    queue: std::collections::VecDeque<NodeId>,
+    ball: Vec<NodeId>,
+}
+
+impl NbhdScratch {
+    /// Creates an empty scratch; buffers grow to the graph size on first
+    /// use.
+    pub fn new() -> NbhdScratch {
+        NbhdScratch::default()
+    }
+
+    /// Starts a fresh ball computation: bumps the epoch (resetting all
+    /// stamps in O(1)) and runs a truncated BFS from `v` in `g`. Leaves
+    /// `self.ball` holding the ball sorted by node id.
+    fn fill_ball(&mut self, g: &Graph, v: NodeId, r: usize) {
+        let n = g.node_count();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.pos.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.ball.clear();
+        self.queue.clear();
+        // `pos` doubles as the BFS distance during the fill phase; it is
+        // overwritten with sorted positions afterwards.
+        self.stamp[v] = epoch;
+        self.pos[v] = 0;
+        self.ball.push(v);
+        self.queue.push_back(v);
+        while let Some(x) = self.queue.pop_front() {
+            let d = self.pos[x] as usize;
+            if d == r {
+                continue;
+            }
+            for &u in g.neighbors(x) {
+                if self.stamp[u] != epoch {
+                    self.stamp[u] = epoch;
+                    self.pos[u] = (d + 1) as u32;
+                    self.ball.push(u);
+                    self.queue.push_back(u);
+                }
+            }
+        }
+        self.ball.sort_unstable();
+    }
+
+    /// Records the final sorted order into the position map.
+    fn index_ball(&mut self) {
+        for (i, &u) in self.ball.iter().enumerate() {
+            self.pos[u] = i as u32;
+        }
+    }
+}
+
+/// [`ordered_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
+/// `O(|ball| + |induced edges|)` per call.
+pub fn ordered_nbhd_fast(
+    g: &Graph,
+    rank: &[usize],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> OrderedNbhd {
+    scratch.fill_ball(g, v, r);
+    scratch.ball.sort_by_key(|&u| rank[u]);
+    scratch.index_ball();
+    let root = scratch.pos[v];
+    let mut edges = Vec::new();
+    for (i, &a) in scratch.ball.iter().enumerate() {
+        for &b in g.neighbors(a) {
+            if scratch.stamp[b] == scratch.epoch {
+                let j = scratch.pos[b] as usize;
+                if i < j {
+                    edges.push((i as u32, j as u32));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    OrderedNbhd { n: scratch.ball.len() as u32, root, edges }
+}
+
+/// [`id_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
+/// `O(|ball| + |induced edges|)` per call.
+pub fn id_nbhd_fast(
+    g: &Graph,
+    ids: &[u64],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> IdNbhd {
+    scratch.fill_ball(g, v, r);
+    scratch.ball.sort_by_key(|&u| ids[u]);
+    debug_assert!(
+        scratch.ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]),
+        "identifiers must be unique"
+    );
+    scratch.index_ball();
+    let root = scratch.pos[v];
+    let mut edges = Vec::new();
+    for (i, &a) in scratch.ball.iter().enumerate() {
+        for &b in g.neighbors(a) {
+            if scratch.stamp[b] == scratch.epoch {
+                let j = scratch.pos[b] as usize;
+                if i < j {
+                    edges.push((i as u32, j as u32));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    IdNbhd { ids: scratch.ball.iter().map(|&u| ids[u]).collect(), root, edges }
+}
+
+/// [`ordered_lnbhd_in`] with a reusable [`NbhdScratch`]: bit-identical
+/// output, `O(|ball| + |induced edges|)` per call.
+pub fn ordered_lnbhd_fast(
+    d: &LDigraph,
+    und: &Graph,
+    rank: &[usize],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> OrderedLNbhd {
+    scratch.fill_ball(und, v, r);
+    scratch.ball.sort_by_key(|&u| rank[u]);
+    scratch.index_ball();
+    let root = scratch.pos[v];
+    let mut edges = Vec::new();
+    for &a in &scratch.ball {
+        for e in d.out_edges(a) {
+            if scratch.stamp[e.to] == scratch.epoch {
+                edges.push((scratch.pos[a], scratch.pos[e.to], e.label as u32));
+            }
+        }
+    }
+    edges.sort_unstable();
+    OrderedLNbhd { n: scratch.ball.len() as u32, root, edges }
+}
+
+/// Fans per-vertex canonical-form extraction over `std::thread::scope`
+/// workers, each with its own [`NbhdScratch`]; falls back to one thread on
+/// small inputs. Output is in vertex order regardless of thread count.
+fn per_vertex_types<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut NbhdScratch, NodeId) -> T + Sync,
+{
+    const PARALLEL_MIN_NODES: usize = 1 << 10;
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if workers <= 1 || n < PARALLEL_MIN_NODES {
+        let mut scratch = NbhdScratch::new();
+        return (0..n).map(|v| f(&mut scratch, v)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let f = &f;
+                scope.spawn(move || {
+                    let mut scratch = NbhdScratch::new();
+                    (lo..hi).map(|v| f(&mut scratch, v)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("census worker panicked"));
+        }
+        out
+    })
+}
+
+fn sorted_census<T: Ord + std::hash::Hash>(types: Vec<T>) -> Vec<(T, usize)> {
+    let mut counts: std::collections::HashMap<T, usize> = std::collections::HashMap::new();
+    for t in types {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
 /// Counts, for each distinct ordered neighbourhood type, how many vertices
 /// of `(g, rank)` have that type at radius `r`. Returns pairs
 /// `(type, count)` with the most frequent type first.
@@ -194,31 +400,49 @@ pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
 /// This is the exact census used to measure `(α, r)`-homogeneity
 /// (Definition 3.1): the graph is `(α, r)`-homogeneous with
 /// `α = max_count / n`.
+///
+/// Engine-backed: per-vertex extraction runs through [`ordered_nbhd_fast`]
+/// on scoped worker threads. [`ordered_type_census_naive`] is the
+/// reference implementation.
 pub fn ordered_type_census(g: &Graph, rank: &[usize], r: usize) -> Vec<(OrderedNbhd, usize)> {
-    let mut counts: std::collections::HashMap<OrderedNbhd, usize> = std::collections::HashMap::new();
-    for v in g.nodes() {
-        *counts.entry(ordered_nbhd(g, rank, v, r)).or_insert(0) += 1;
-    }
-    let mut out: Vec<_> = counts.into_iter().collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    out
+    sorted_census(per_vertex_types(g.node_count(), |scratch, v| {
+        ordered_nbhd_fast(g, rank, v, r, scratch)
+    }))
+}
+
+/// The reference (sequential, allocation-per-call) implementation of
+/// [`ordered_type_census`]; kept as the differential-testing oracle.
+pub fn ordered_type_census_naive(
+    g: &Graph,
+    rank: &[usize],
+    r: usize,
+) -> Vec<(OrderedNbhd, usize)> {
+    sorted_census(g.nodes().map(|v| ordered_nbhd(g, rank, v, r)).collect())
 }
 
 /// Like [`ordered_type_census`] but for L-digraphs (directed, labelled).
+/// Engine-backed like its undirected counterpart;
+/// [`ordered_ltype_census_naive`] is the reference implementation.
 pub fn ordered_ltype_census(
     d: &LDigraph,
     rank: &[usize],
     r: usize,
 ) -> Vec<(OrderedLNbhd, usize)> {
     let und = d.underlying_simple();
-    let mut counts: std::collections::HashMap<OrderedLNbhd, usize> =
-        std::collections::HashMap::new();
-    for v in 0..d.node_count() {
-        *counts.entry(ordered_lnbhd_in(d, &und, rank, v, r)).or_insert(0) += 1;
-    }
-    let mut out: Vec<_> = counts.into_iter().collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    out
+    sorted_census(per_vertex_types(d.node_count(), |scratch, v| {
+        ordered_lnbhd_fast(d, &und, rank, v, r, scratch)
+    }))
+}
+
+/// The reference implementation of [`ordered_ltype_census`]; kept as the
+/// differential-testing oracle.
+pub fn ordered_ltype_census_naive(
+    d: &LDigraph,
+    rank: &[usize],
+    r: usize,
+) -> Vec<(OrderedLNbhd, usize)> {
+    let und = d.underlying_simple();
+    sorted_census((0..d.node_count()).map(|v| ordered_lnbhd_in(d, &und, rank, v, r)).collect())
 }
 
 #[cfg(test)]

@@ -108,8 +108,8 @@ pub fn two_factor_labeling(g: &Graph) -> Result<LDigraph, GraphError> {
                 });
             }
         }
-        for u in 0..n {
-            let i = match_left[u].expect("perfect matching covers all left nodes");
+        for (u, m) in match_left.iter().enumerate() {
+            let i = m.expect("perfect matching covers all left nodes");
             assigned[i] = label;
             let (from, to) = directed[i];
             debug_assert_eq!(from, u);

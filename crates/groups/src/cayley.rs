@@ -186,7 +186,7 @@ mod tests {
         let h = IterGroup::finite(2, 4).unwrap();
         let w = IterGroup::finite(2, 2).unwrap();
         let s_h = vec![1i64, 0, 1];
-        let dh = cayley(&h, &[s_h.clone()]).unwrap();
+        let dh = cayley(&h, std::slice::from_ref(&s_h)).unwrap();
         let (_, s_w) = h.reduce(&s_h, 2).unwrap();
         let dw = cayley(&w, &[s_w]).unwrap();
         // projection of an edge of dh is an edge of dw

@@ -197,8 +197,8 @@ pub fn random_lift<R: Rng>(g: &LDigraph, l: usize, rng: &mut R) -> (LDigraph, Co
     for e in g.edges() {
         let mut perm: Vec<usize> = (0..l).collect();
         perm.shuffle(rng);
-        for c in 0..l {
-            h.add_edge(c * n + e.from, perm[c] * n + e.to, e.label)
+        for (c, &p) in perm.iter().enumerate() {
+            h.add_edge(c * n + e.from, p * n + e.to, e.label)
                 .expect("permutation matching preserves properness");
         }
     }

@@ -53,5 +53,5 @@ pub use cover::{
     CoveringMap,
 };
 pub use error::LiftError;
-pub use view::{view, view_census, ViewNode, ViewTree};
+pub use view::{view, view_census, view_census_naive, ViewCache, ViewCacheStats, ViewNode, ViewTree};
 pub use word::{Letter, Word};

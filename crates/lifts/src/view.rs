@@ -145,7 +145,20 @@ pub fn view(d: &LDigraph, v: NodeId, r: usize) -> ViewTree {
 /// Counts the distinct radius-`r` views of all nodes; most frequent first.
 /// A graph is *PO-symmetric at radius r* when this census has one entry —
 /// then every PO algorithm must produce the same output everywhere.
+///
+/// Backed by a [`ViewCache`]: views are classified by incremental class
+/// refinement and each distinct tree is materialised once, so the cost is
+/// near-linear in `n · |L| · r` rather than `n · |T*|`. The reference
+/// implementation survives as [`view_census_naive`]; the two are asserted
+/// bit-identical by the `engine_differential` test suite.
 pub fn view_census(d: &LDigraph, r: usize) -> Vec<(ViewTree, usize)> {
+    ViewCache::new(d).census(r)
+}
+
+/// The reference (per-vertex, no sharing) implementation of
+/// [`view_census`]: builds every tree independently with [`view`].
+/// Kept as the differential-testing oracle for the engine.
+pub fn view_census_naive(d: &LDigraph, r: usize) -> Vec<(ViewTree, usize)> {
     let mut counts: HashMap<ViewTree, usize> = HashMap::new();
     for v in 0..d.node_count() {
         *counts.entry(view(d, v, r)).or_insert(0) += 1;
@@ -153,6 +166,305 @@ pub fn view_census(d: &LDigraph, r: usize) -> Vec<(ViewTree, usize)> {
     let mut out: Vec<_> = counts.into_iter().collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out
+}
+
+/// Effectiveness counters of a [`ViewCache`].
+#[derive(Debug, Clone, Default)]
+pub struct ViewCacheStats {
+    /// Deepest level built so far (= largest radius seen).
+    pub depth: usize,
+    /// Number of refinement states per level (`n · (2|L| + 1)`).
+    pub states: usize,
+    /// Distinct view classes at each built level (`classes[r]` ≤ `states`).
+    pub classes: Vec<usize>,
+    /// Subtree materialisations answered from the memo.
+    pub tree_hits: u64,
+    /// Subtrees actually built (once per distinct class).
+    pub tree_misses: u64,
+    /// Worker threads used for the last refinement sweep (1 = sequential).
+    pub workers: usize,
+}
+
+impl ViewCacheStats {
+    /// The interning ratio `states / classes` at the deepest level —
+    /// how many vertices share each allocation (≥ 1; higher is better).
+    pub fn dedup_ratio(&self) -> f64 {
+        match self.classes.last() {
+            Some(&c) if c > 0 => self.states as f64 / c as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// A per-graph view engine: computes the radius-`r` views of **all**
+/// vertices at once by incremental class refinement, interning identical
+/// subtrees so that fibre-equivalent vertices share one allocation.
+///
+/// The refinement state space is `V × ({λ} ∪ L ∪ L⁻¹)` — a vertex together
+/// with the letter just walked (`λ` = none, for roots). Level `0` puts all
+/// states in one class; level `d` refines by the sorted list of
+/// `(letter, level-(d−1) class of the state reached)` over the
+/// non-backtracking letters available — exactly the recursion of [`view`],
+/// so two root states get the same class at level `r` **iff** their
+/// radius-`r` views are equal. Deepening to `r` reuses levels `< r`
+/// (incremental deepening), and the per-state signature sweep fans out
+/// across `std::thread::scope` workers on large graphs.
+///
+/// Trees are materialised lazily, once per distinct class, and cloned out;
+/// [`ViewCache::census`] therefore builds one tree per *class* instead of
+/// one per vertex.
+///
+/// ```
+/// use locap_graph::gen;
+/// use locap_lifts::{view, ViewCache};
+///
+/// let g = gen::directed_cycle(60);
+/// let mut cache = ViewCache::new(&g);
+/// assert_eq!(cache.view(7, 3), view(&g, 7, 3));
+/// // all 60 vertices share a single root class:
+/// let (classes, _) = cache.root_classes(3);
+/// assert!(classes.iter().all(|&c| c == classes[0]));
+/// ```
+pub struct ViewCache<'g> {
+    d: &'g LDigraph,
+    /// States per vertex: 1 (no incoming letter) + 2|L| (each letter).
+    width: usize,
+    /// `levels[d][state]` = class of `state` at refinement depth `d`.
+    levels: Vec<Vec<u32>>,
+    /// `reps[d][class]` = first state of the class (its canonical witness).
+    reps: Vec<Vec<u32>>,
+    /// Memoized materialisations per (level, class).
+    trees: Vec<Vec<Option<ViewNode>>>,
+    stats: ViewCacheStats,
+}
+
+/// Threshold below which the refinement sweep stays sequential: the per
+/// -state work is tens of nanoseconds, so small graphs lose to spawn cost.
+const PARALLEL_MIN_STATES: usize = 1 << 13;
+
+impl<'g> ViewCache<'g> {
+    /// Creates an empty cache for `d`; levels are built on demand.
+    pub fn new(d: &'g LDigraph) -> ViewCache<'g> {
+        let width = 1 + 2 * d.alphabet_size();
+        let states = d.node_count() * width;
+        ViewCache {
+            d,
+            width,
+            levels: Vec::new(),
+            reps: Vec::new(),
+            trees: Vec::new(),
+            stats: ViewCacheStats { states, workers: 1, ..ViewCacheStats::default() },
+        }
+    }
+
+    /// The underlying graph.
+    pub fn digraph(&self) -> &'g LDigraph {
+        self.d
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> &ViewCacheStats {
+        &self.stats
+    }
+
+    /// Number of distinct radius-`r` view classes over **all** states
+    /// (root and non-root); builds levels up to `r` if needed.
+    pub fn class_count(&mut self, r: usize) -> usize {
+        self.ensure_depth(r);
+        self.reps[r].len()
+    }
+
+    /// The class of the radius-`r` view of `v`: two vertices get the same
+    /// class **iff** `view(d, ·, r)` returns equal trees.
+    pub fn root_class(&mut self, v: NodeId, r: usize) -> u32 {
+        self.ensure_depth(r);
+        self.levels[r][v * self.width]
+    }
+
+    /// Per-vertex root classes and the total class count at radius `r`.
+    pub fn root_classes(&mut self, r: usize) -> (Vec<u32>, usize) {
+        self.ensure_depth(r);
+        let classes =
+            (0..self.d.node_count()).map(|v| self.levels[r][v * self.width]).collect();
+        (classes, self.reps[r].len())
+    }
+
+    /// The radius-`r` view of `v` — bit-identical to [`view`]`(d, v, r)`,
+    /// but the subtree for each class is built at most once.
+    pub fn view(&mut self, v: NodeId, r: usize) -> ViewTree {
+        let class = self.root_class(v, r);
+        self.class_view(r, class)
+    }
+
+    /// The tree of a class returned by [`ViewCache::root_class`].
+    pub fn class_view(&mut self, r: usize, class: u32) -> ViewTree {
+        self.ensure_depth(r);
+        ViewTree {
+            root: self.materialize(r, class),
+            radius: r,
+            alphabet: self.d.alphabet_size(),
+        }
+    }
+
+    /// The view census, bit-identical to [`view_census_naive`] but with
+    /// one tree materialisation per class instead of per vertex.
+    pub fn census(&mut self, r: usize) -> Vec<(ViewTree, usize)> {
+        let (classes, k) = self.root_classes(r);
+        let mut counts = vec![0usize; k];
+        for &c in &classes {
+            counts[c as usize] += 1;
+        }
+        let mut out = Vec::new();
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                out.push((self.class_view(r, c as u32), count));
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Letter encoding matching `Letter`'s derived order:
+    /// `pos(l) ↦ 2l`, `neg(l) ↦ 2l + 1`, so ascending codes are ascending
+    /// letters and a letter's inverse is `code ^ 1`.
+    fn letter_of(code: usize) -> Letter {
+        if code % 2 == 0 {
+            Letter::pos(code / 2)
+        } else {
+            Letter::neg(code / 2)
+        }
+    }
+
+    /// The signature of a state at the level being built: the sorted
+    /// `(letter code, previous-level class of the reached state)` list over
+    /// the non-backtracking letters available — the labels loop emits codes
+    /// in increasing order, so no sort is needed.
+    fn signature(&self, state: usize, prev: &[u32], sig: &mut Vec<u64>) {
+        sig.clear();
+        let (v, code) = (state / self.width, state % self.width);
+        for label in 0..self.d.alphabet_size() {
+            if let Some(u) = self.d.out_neighbor(v, label) {
+                let enc = 2 * label;
+                // walking `letter` backtracks iff the state's incoming
+                // letter (code − 1) is `letter`'s inverse (enc ^ 1)
+                if code == 0 || code - 1 != enc ^ 1 {
+                    sig.push(((enc as u64) << 32) | prev[u * self.width + 1 + enc] as u64);
+                }
+            }
+            if let Some(u) = self.d.in_neighbor(v, label) {
+                let enc = 2 * label + 1;
+                if code == 0 || code - 1 != enc ^ 1 {
+                    sig.push(((enc as u64) << 32) | prev[u * self.width + 1 + enc] as u64);
+                }
+            }
+        }
+    }
+
+    /// Builds refinement levels up to depth `r` (no-op if already built).
+    fn ensure_depth(&mut self, r: usize) {
+        let n_states = self.d.node_count() * self.width;
+        while self.levels.len() <= r {
+            let depth = self.levels.len();
+            if depth == 0 {
+                // one class: every radius-0 view is the bare root
+                self.levels.push(vec![0; n_states]);
+                self.reps.push(if n_states == 0 { Vec::new() } else { vec![0] });
+            } else {
+                let sigs = self.signatures_for_level(depth);
+                let mut map: HashMap<Vec<u64>, u32> = HashMap::new();
+                let mut classes = Vec::with_capacity(n_states);
+                let mut reps = Vec::new();
+                for (s, sig) in sigs.into_iter().enumerate() {
+                    let next = map.len() as u32;
+                    let id = *map.entry(sig).or_insert_with(|| {
+                        reps.push(s as u32);
+                        next
+                    });
+                    classes.push(id);
+                }
+                self.levels.push(classes);
+                self.reps.push(reps);
+            }
+            let k = self.reps[depth].len();
+            self.trees.push(vec![None; k]);
+            self.stats.classes.push(k);
+            self.stats.depth = depth;
+        }
+    }
+
+    /// One refinement sweep: the per-state signatures at `depth`, fanned
+    /// across `std::thread::scope` workers when the state space is large.
+    fn signatures_for_level(&mut self, depth: usize) -> Vec<Vec<u64>> {
+        let n_states = self.d.node_count() * self.width;
+        let prev = &self.levels[depth - 1];
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if workers <= 1 || n_states < PARALLEL_MIN_STATES {
+            self.stats.workers = 1;
+            let mut sig = Vec::new();
+            return (0..n_states)
+                .map(|s| {
+                    self.signature(s, prev, &mut sig);
+                    sig.clone()
+                })
+                .collect();
+        }
+        self.stats.workers = workers;
+        let chunk = n_states.div_ceil(workers);
+        let this = &*self;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n_states);
+                    scope.spawn(move || {
+                        let mut sig = Vec::new();
+                        (lo..hi)
+                            .map(|s| {
+                                this.signature(s, prev, &mut sig);
+                                sig.clone()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(n_states);
+            for h in handles {
+                out.extend(h.join().expect("signature worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// The tree of a class, memoized: equal to the naive [`view`] recursion
+    /// applied to the class's witness state (and hence, by the refinement
+    /// invariant, to every state of the class).
+    fn materialize(&mut self, depth: usize, class: u32) -> ViewNode {
+        if let Some(t) = &self.trees[depth][class as usize] {
+            self.stats.tree_hits += 1;
+            return t.clone();
+        }
+        self.stats.tree_misses += 1;
+        let node = if depth == 0 {
+            ViewNode::leaf()
+        } else {
+            let rep = self.reps[depth][class as usize] as usize;
+            // re-derive the witness's child list (letter, previous-level
+            // class), then materialise each child class recursively
+            let mut sig = Vec::new();
+            self.signature(rep, &self.levels[depth - 1], &mut sig);
+            let children = sig
+                .iter()
+                .map(|&packed| {
+                    let letter = Self::letter_of((packed >> 32) as usize);
+                    let child_class = packed as u32;
+                    (letter, self.materialize(depth - 1, child_class))
+                })
+                .collect();
+            ViewNode { children }
+        };
+        self.trees[depth][class as usize] = Some(node.clone());
+        node
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,78 @@
+//! The fundamental lift-invariance of views (paper §2.5, Fig. 3):
+//! for any covering map ϕ : H → G and every vertex `v` of the lift,
+//!
+//! ```text
+//! τ(T(H, v)) = τ(T(G, ϕ(v)))   at every radius r
+//! ```
+//!
+//! — a PO algorithm cannot tell a graph from its lifts. Property-tested
+//! over random lifts, trivial lifts and connected-copy lifts of several
+//! base families, for all radii r ≤ 3.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use locap_graph::{gen, LDigraph, PoGraph};
+use locap_lifts::{connect_copies, random_lift, trivial_lift, view, CoveringMap};
+
+/// Checks `view(lift, v, r) == view(base, ϕ(v), r)` for every v and r ≤ 3.
+fn assert_fibre_invariant(lift: &LDigraph, phi: &CoveringMap, base: &LDigraph) {
+    phi.verify(lift, base).expect("covering map must verify");
+    for r in 0..=3usize {
+        for v in 0..lift.node_count() {
+            assert_eq!(
+                view(lift, v, r),
+                view(base, phi.image(v), r),
+                "view mismatch at lift vertex {v}, radius {r}"
+            );
+        }
+    }
+}
+
+/// Base L-digraphs to lift: directed cycles and canonical PO structures
+/// of small undirected families.
+fn base_digraph(choice: usize) -> LDigraph {
+    match choice % 4 {
+        0 => gen::directed_cycle(3 + choice % 5),
+        1 => PoGraph::canonical(&gen::cycle(4 + choice % 4)).digraph().clone(),
+        2 => PoGraph::canonical(&gen::petersen()).digraph().clone(),
+        _ => PoGraph::canonical(&gen::complete(4)).digraph().clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random lifts of every base family are view-indistinguishable from
+    /// the base at all radii ≤ 3.
+    #[test]
+    fn prop_random_lift_fibre_invariance(
+        choice in 0usize..16,
+        l in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let base = base_digraph(choice);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lift, phi) = random_lift(&base, l, &mut rng);
+        assert_fibre_invariant(&lift, &phi, &base);
+    }
+
+    /// Trivial (disjoint-copy) lifts are fibre-invariant too.
+    #[test]
+    fn prop_trivial_lift_fibre_invariance(choice in 0usize..16, l in 1usize..4) {
+        let base = base_digraph(choice);
+        let (lift, phi) = trivial_lift(&base, l);
+        assert_fibre_invariant(&lift, &phi, &base);
+    }
+
+    /// Connected-copy lifts (the construction behind the EDS instances)
+    /// are fibre-invariant whenever they exist.
+    #[test]
+    fn prop_connect_copies_fibre_invariance(choice in 0usize..16, l in 2usize..4) {
+        let base = base_digraph(choice);
+        if let Ok((lift, phi)) = connect_copies(&base, l) {
+            assert_fibre_invariant(&lift, &phi, &base);
+        }
+    }
+}

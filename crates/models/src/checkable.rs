@@ -151,7 +151,7 @@ pub fn verify_edge<V: EdgeVerifier>(g: &Graph, solution: &BTreeSet<Edge>, verifi
         } else {
             d.out_neighbor(u, letter.label)
         };
-        target.map_or(false, |t| solution.contains(&Edge::new(u, t)))
+        target.is_some_and(|t| solution.contains(&Edge::new(u, t)))
     };
     let d2 = po.digraph();
     (0..d2.node_count())

@@ -1,0 +1,461 @@
+//! The shared memoized view/neighbourhood engine.
+//!
+//! Every experiment in the workspace bottoms out in the same inner loop:
+//! extract the radius-`r` neighbourhood of every vertex (a [`ViewTree`]
+//! in PO, an [`OrderedNbhd`]/[`IdNbhd`] in OI/ID) and evaluate an
+//! algorithm on it. Done naively that work is repeated per vertex, per
+//! call, with no sharing — and the paper's constructions (iterated
+//! wreath-product Cayley graphs, `l`-lifts) are exactly the ones that
+//! multiply vertex counts while *collapsing* the number of distinct
+//! neighbourhoods.
+//!
+//! This module exploits the collapse:
+//!
+//! * [`ViewEngine`] wraps [`locap_lifts::ViewCache`] — incremental class
+//!   refinement computes the view classes of **all** vertices at once
+//!   (radius `r` extends radius `r − 1`), identical subtrees are interned,
+//!   the per-state sweep fans across `std::thread::scope` workers, and an
+//!   algorithm is **evaluated once per class** and broadcast to the class
+//!   members.
+//! * [`OiEngine`] / [`IdEngine`] do the same for ordered/identifier
+//!   neighbourhoods via [`locap_graph::canon::NbhdScratch`] (`O(|ball|)`
+//!   extraction, no per-call allocation) plus type interning.
+//!
+//! Everything is bit-identical to the naive paths in [`crate::run`]
+//! (asserted by the `engine_differential` test suite); [`EngineStats`]
+//! exposes hit/miss/dedup counters so experiment binaries can print cache
+//! effectiveness.
+
+use std::collections::{BTreeSet, HashMap};
+
+use locap_graph::canon::{id_nbhd_fast, ordered_nbhd_fast, IdNbhd, NbhdScratch, OrderedNbhd};
+use locap_graph::{Edge, Graph, LDigraph, NodeId};
+use locap_lifts::{ViewCache, ViewCacheStats, ViewTree};
+
+use crate::{
+    IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
+    PoVertexAlgorithm,
+};
+
+/// Cache-effectiveness counters of an engine-backed run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Vertices processed.
+    pub vertices: usize,
+    /// Distinct neighbourhood/view classes among them.
+    pub classes: usize,
+    /// Algorithm evaluations actually performed (= misses; once per class).
+    pub evals: u64,
+    /// Evaluations answered by broadcast from an earlier class member.
+    pub hits: u64,
+}
+
+impl EngineStats {
+    /// `vertices / classes` — average number of vertices sharing one
+    /// evaluation (≥ 1; higher is better).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.classes == 0 {
+            1.0
+        } else {
+            self.vertices as f64 / self.classes as f64
+        }
+    }
+
+    /// One-line human-readable summary for experiment binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} vertices -> {} classes (dedup {:.1}x), {} evals, {} broadcast hits",
+            self.vertices,
+            self.classes,
+            self.dedup_ratio(),
+            self.evals,
+            self.hits
+        )
+    }
+}
+
+/// The PO-model engine: a per-graph cache of view classes with
+/// evaluate-once-per-class algorithm runs. See the module docs.
+pub struct ViewEngine<'g> {
+    cache: ViewCache<'g>,
+    run_stats: EngineStats,
+}
+
+impl<'g> ViewEngine<'g> {
+    /// Creates an engine for `d`; all state is built lazily.
+    pub fn new(d: &'g LDigraph) -> ViewEngine<'g> {
+        ViewEngine { cache: ViewCache::new(d), run_stats: EngineStats::default() }
+    }
+
+    /// The underlying refinement cache (classes, interning counters).
+    pub fn cache_stats(&self) -> &ViewCacheStats {
+        self.cache.stats()
+    }
+
+    /// Counters of the algorithm runs executed so far.
+    pub fn run_stats(&self) -> &EngineStats {
+        &self.run_stats
+    }
+
+    /// The radius-`r` view of `v` — bit-identical to
+    /// [`locap_lifts::view`]`(d, v, r)`.
+    pub fn view(&mut self, v: NodeId, r: usize) -> ViewTree {
+        self.cache.view(v, r)
+    }
+
+    /// The view census — bit-identical to
+    /// [`locap_lifts::view_census_naive`], one tree per class.
+    pub fn census(&mut self, r: usize) -> Vec<(ViewTree, usize)> {
+        self.cache.census(r)
+    }
+
+    /// Runs a PO vertex algorithm: one evaluation per view class,
+    /// broadcast to all vertices of the class. Bit-identical to
+    /// [`crate::run::po_vertex_naive`].
+    pub fn run_vertex<A: PoVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let r = algo.radius();
+        let (classes, k) = self.cache.root_classes(r);
+        let mut outputs: Vec<Option<bool>> = vec![None; k];
+        let mut out = Vec::with_capacity(classes.len());
+        for &c in &classes {
+            let bit = match outputs[c as usize] {
+                Some(b) => {
+                    self.run_stats.hits += 1;
+                    b
+                }
+                None => {
+                    self.run_stats.evals += 1;
+                    let b = algo.evaluate(&self.cache.class_view(r, c));
+                    outputs[c as usize] = Some(b);
+                    b
+                }
+            };
+            out.push(bit);
+        }
+        self.run_stats.vertices += classes.len();
+        // distinct *root* classes actually seen (k also counts non-root
+        // walk states, which never reach the algorithm)
+        self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
+        let _ = k;
+        out
+    }
+
+    /// Runs a PO edge algorithm: one evaluation per view class, then the
+    /// same per-vertex letter-to-edge assembly (and panic on absent
+    /// letters) as [`crate::run::po_edge_naive`].
+    pub fn run_edge<A: PoEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let d = self.cache.digraph();
+        let r = algo.radius();
+        let (classes, k) = self.cache.root_classes(r);
+        let mut outputs: Vec<Option<Vec<(locap_lifts::Letter, bool)>>> = vec![None; k];
+        let mut out = BTreeSet::new();
+        for (v, &c) in classes.iter().enumerate() {
+            if outputs[c as usize].is_none() {
+                self.run_stats.evals += 1;
+                outputs[c as usize] = Some(algo.evaluate(&self.cache.class_view(r, c)));
+            } else {
+                self.run_stats.hits += 1;
+            }
+            let bits = outputs[c as usize].as_ref().expect("just filled");
+            for &(letter, selected) in bits {
+                if !selected {
+                    continue;
+                }
+                let target = if letter.inverse {
+                    d.in_neighbor(v, letter.label)
+                } else {
+                    d.out_neighbor(v, letter.label)
+                };
+                let u = target.unwrap_or_else(|| {
+                    panic!("algorithm selected absent letter {letter} at node {v}")
+                });
+                out.insert(Edge::new(v, u));
+            }
+        }
+        self.run_stats.vertices += classes.len();
+        self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
+        let _ = k;
+        out
+    }
+}
+
+/// The OI-model engine: `O(|ball|)` neighbourhood extraction through a
+/// reusable scratch, with type interning so each distinct ordered type is
+/// evaluated once.
+pub struct OiEngine<'g> {
+    g: &'g Graph,
+    rank: &'g [usize],
+    scratch: NbhdScratch,
+    run_stats: EngineStats,
+}
+
+impl<'g> OiEngine<'g> {
+    /// Creates an engine for `(g, rank)`.
+    pub fn new(g: &'g Graph, rank: &'g [usize]) -> OiEngine<'g> {
+        OiEngine { g, rank, scratch: NbhdScratch::new(), run_stats: EngineStats::default() }
+    }
+
+    /// Counters of the runs executed so far.
+    pub fn run_stats(&self) -> &EngineStats {
+        &self.run_stats
+    }
+
+    /// The ordered neighbourhood of `v` — bit-identical to
+    /// [`locap_graph::canon::ordered_nbhd`].
+    pub fn nbhd(&mut self, v: NodeId, r: usize) -> OrderedNbhd {
+        ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch)
+    }
+
+    /// Runs an OI vertex algorithm, evaluating once per distinct type.
+    /// Bit-identical to [`crate::run::oi_vertex_naive`].
+    pub fn run_vertex<A: OiVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let r = algo.radius();
+        let mut memo: HashMap<OrderedNbhd, bool> = HashMap::new();
+        let out: Vec<bool> = (0..self.g.node_count())
+            .map(|v| {
+                let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
+                match memo.get(&t) {
+                    Some(&b) => {
+                        self.run_stats.hits += 1;
+                        b
+                    }
+                    None => {
+                        self.run_stats.evals += 1;
+                        let b = algo.evaluate(&t);
+                        memo.insert(t, b);
+                        b
+                    }
+                }
+            })
+            .collect();
+        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.classes = memo.len();
+        out
+    }
+
+    /// Runs an OI edge algorithm, evaluating once per distinct type; the
+    /// per-vertex assembly (degree assertion included) matches
+    /// [`crate::run::oi_edge_naive`].
+    pub fn run_edge<A: OiEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let r = algo.radius();
+        let mut memo: HashMap<OrderedNbhd, Vec<bool>> = HashMap::new();
+        let mut out = BTreeSet::new();
+        for v in self.g.nodes() {
+            let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
+            let bits = match memo.get(&t) {
+                Some(b) => {
+                    self.run_stats.hits += 1;
+                    b.clone()
+                }
+                None => {
+                    self.run_stats.evals += 1;
+                    let b = algo.evaluate(&t);
+                    memo.insert(t, b.clone());
+                    b
+                }
+            };
+            assert_eq!(bits.len(), self.g.degree(v), "edge output must match degree of node {v}");
+            let mut nbrs = self.g.neighbors(v).to_vec();
+            nbrs.sort_by_key(|&u| self.rank[u]);
+            for (i, &u) in nbrs.iter().enumerate() {
+                if bits[i] {
+                    out.insert(Edge::new(v, u));
+                }
+            }
+        }
+        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.classes = memo.len();
+        out
+    }
+}
+
+/// The ID-model engine: `O(|ball|)` extraction through a reusable scratch
+/// plus type interning. Identifiers being globally unique, the dedup
+/// ratio is usually 1 on connected graphs with `r ≥ 1` — the win here is
+/// the extraction fast path, and radius-0 / disconnected corner cases
+/// still dedup.
+pub struct IdEngine<'g> {
+    g: &'g Graph,
+    ids: &'g [u64],
+    scratch: NbhdScratch,
+    run_stats: EngineStats,
+}
+
+impl<'g> IdEngine<'g> {
+    /// Creates an engine for `(g, ids)`.
+    pub fn new(g: &'g Graph, ids: &'g [u64]) -> IdEngine<'g> {
+        IdEngine { g, ids, scratch: NbhdScratch::new(), run_stats: EngineStats::default() }
+    }
+
+    /// Counters of the runs executed so far.
+    pub fn run_stats(&self) -> &EngineStats {
+        &self.run_stats
+    }
+
+    /// The ID neighbourhood of `v` — bit-identical to
+    /// [`locap_graph::canon::id_nbhd`].
+    pub fn nbhd(&mut self, v: NodeId, r: usize) -> IdNbhd {
+        id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch)
+    }
+
+    /// Runs an ID vertex algorithm, evaluating once per distinct
+    /// neighbourhood. Bit-identical to [`crate::run::id_vertex_naive`].
+    pub fn run_vertex<A: IdVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let r = algo.radius();
+        let mut memo: HashMap<IdNbhd, bool> = HashMap::new();
+        let out: Vec<bool> = (0..self.g.node_count())
+            .map(|v| {
+                let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
+                match memo.get(&t) {
+                    Some(&b) => {
+                        self.run_stats.hits += 1;
+                        b
+                    }
+                    None => {
+                        self.run_stats.evals += 1;
+                        let b = algo.evaluate(&t);
+                        memo.insert(t, b);
+                        b
+                    }
+                }
+            })
+            .collect();
+        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.classes = memo.len();
+        out
+    }
+
+    /// Runs an ID edge algorithm; assembly matches
+    /// [`crate::run::id_edge_naive`].
+    pub fn run_edge<A: IdEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let r = algo.radius();
+        let mut memo: HashMap<IdNbhd, Vec<bool>> = HashMap::new();
+        let mut out = BTreeSet::new();
+        for v in self.g.nodes() {
+            let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
+            let bits = match memo.get(&t) {
+                Some(b) => {
+                    self.run_stats.hits += 1;
+                    b.clone()
+                }
+                None => {
+                    self.run_stats.evals += 1;
+                    let b = algo.evaluate(&t);
+                    memo.insert(t, b.clone());
+                    b
+                }
+            };
+            assert_eq!(bits.len(), self.g.degree(v), "edge output must match degree of node {v}");
+            let mut nbrs = self.g.neighbors(v).to_vec();
+            nbrs.sort_by_key(|&u| self.ids[u]);
+            for (i, &u) in nbrs.iter().enumerate() {
+                if bits[i] {
+                    out.insert(Edge::new(v, u));
+                }
+            }
+        }
+        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.classes = memo.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locap_graph::gen;
+    use locap_lifts::Letter;
+
+    struct LocalMin;
+    impl OiVertexAlgorithm for LocalMin {
+        fn radius(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, t: &OrderedNbhd) -> bool {
+            t.root == 0
+        }
+    }
+
+    struct OutZero;
+    impl PoEdgeAlgorithm for OutZero {
+        fn radius(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, t: &ViewTree) -> Vec<(Letter, bool)> {
+            t.root.children.iter().map(|&(l, _)| (l, l == Letter::pos(0))).collect()
+        }
+    }
+
+    #[test]
+    fn po_engine_broadcasts_on_symmetric_graph() {
+        struct JoinAll;
+        impl PoVertexAlgorithm for JoinAll {
+            fn radius(&self) -> usize {
+                2
+            }
+            fn evaluate(&self, _: &ViewTree) -> bool {
+                true
+            }
+        }
+        let d = gen::directed_cycle(50);
+        let mut engine = ViewEngine::new(&d);
+        let bits = engine.run_vertex(&JoinAll);
+        assert!(bits.iter().all(|&b| b));
+        let stats = engine.run_stats();
+        assert_eq!(stats.vertices, 50);
+        assert_eq!(stats.classes, 1, "directed cycle has one view class");
+        assert_eq!(stats.evals, 1, "single evaluation broadcast to all 50");
+        assert_eq!(stats.hits, 49);
+    }
+
+    #[test]
+    fn po_edge_engine_matches_naive() {
+        let d = gen::directed_cycle(5);
+        let mut engine = ViewEngine::new(&d);
+        let set = engine.run_edge(&OutZero);
+        assert_eq!(set, crate::run::po_edge_naive(&d, &OutZero));
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn oi_engine_dedups_interior_types() {
+        let g = gen::cycle(100);
+        let rank: Vec<usize> = (0..100).collect();
+        let mut engine = OiEngine::new(&g, &rank);
+        let bits = engine.run_vertex(&LocalMin);
+        assert_eq!(bits, crate::run::oi_vertex_naive(&g, &rank, &LocalMin));
+        let stats = engine.run_stats();
+        assert_eq!(stats.classes, 3, "interior + two seam types");
+        assert_eq!(stats.evals, 3);
+        assert_eq!(stats.hits, 97);
+    }
+
+    #[test]
+    fn id_engine_matches_naive() {
+        struct LocalMaxId;
+        impl IdVertexAlgorithm for LocalMaxId {
+            fn radius(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, t: &IdNbhd) -> bool {
+                t.root as usize == t.ids.len() - 1
+            }
+        }
+        let g = gen::cycle(6);
+        let ids = vec![10, 60, 20, 50, 30, 40];
+        let mut engine = IdEngine::new(&g, &ids);
+        assert_eq!(
+            engine.run_vertex(&LocalMaxId),
+            crate::run::id_vertex_naive(&g, &ids, &LocalMaxId)
+        );
+        // every ball carries distinct ids: no dedup expected
+        assert_eq!(engine.run_stats().classes, 6);
+    }
+
+    #[test]
+    fn engine_stats_summary_format() {
+        let stats = EngineStats { vertices: 50, classes: 1, evals: 1, hits: 49 };
+        assert!(stats.summary().contains("dedup 50.0x"));
+        assert!((stats.dedup_ratio() - 50.0).abs() < 1e-9);
+    }
+}

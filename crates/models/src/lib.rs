@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod checkable;
+pub mod engine;
 pub mod invariance;
 pub mod run;
 pub mod sim;

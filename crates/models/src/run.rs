@@ -13,23 +13,55 @@ use locap_graph::canon::{id_nbhd, ordered_nbhd};
 use locap_graph::{Edge, Graph, LDigraph};
 use locap_lifts::{view, Letter};
 
+use crate::engine::{IdEngine, OiEngine, ViewEngine};
 use crate::{
     IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
     PoVertexAlgorithm,
 };
 
 /// Runs an ID vertex algorithm on `(g, ids)`; returns one bit per node.
+///
+/// Engine-backed ([`crate::engine::IdEngine`]): neighbourhood extraction
+/// is `O(|ball|)` and each distinct neighbourhood is evaluated once. The
+/// reference path survives as [`id_vertex_naive`].
 pub fn id_vertex<A: IdVertexAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> Vec<bool> {
+    IdEngine::new(g, ids).run_vertex(algo)
+}
+
+/// The reference (per-vertex, no sharing) implementation of
+/// [`id_vertex`]; kept as the differential-testing oracle.
+pub fn id_vertex_naive<A: IdVertexAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> Vec<bool> {
     g.nodes().map(|v| algo.evaluate(&id_nbhd(g, ids, v, algo.radius()))).collect()
 }
 
 /// Runs an OI vertex algorithm on `(g, rank)`; returns one bit per node.
+///
+/// Engine-backed ([`crate::engine::OiEngine`]): each distinct ordered
+/// type is evaluated once and broadcast. The reference path survives as
+/// [`oi_vertex_naive`].
 pub fn oi_vertex<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> Vec<bool> {
+    OiEngine::new(g, rank).run_vertex(algo)
+}
+
+/// The reference (per-vertex, no sharing) implementation of
+/// [`oi_vertex`]; kept as the differential-testing oracle.
+pub fn oi_vertex_naive<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> Vec<bool> {
     g.nodes().map(|v| algo.evaluate(&ordered_nbhd(g, rank, v, algo.radius()))).collect()
 }
 
 /// Runs a PO vertex algorithm on an L-digraph; returns one bit per node.
+///
+/// Engine-backed ([`crate::engine::ViewEngine`]): view classes are
+/// computed for all vertices at once by incremental class refinement and
+/// the algorithm is evaluated once per class. The reference path survives
+/// as [`po_vertex_naive`].
 pub fn po_vertex<A: PoVertexAlgorithm>(d: &LDigraph, algo: &A) -> Vec<bool> {
+    ViewEngine::new(d).run_vertex(algo)
+}
+
+/// The reference (per-vertex, no sharing) implementation of
+/// [`po_vertex`]; kept as the differential-testing oracle.
+pub fn po_vertex_naive<A: PoVertexAlgorithm>(d: &LDigraph, algo: &A) -> Vec<bool> {
     (0..d.node_count()).map(|v| algo.evaluate(&view(d, v, algo.radius()))).collect()
 }
 
@@ -53,10 +85,22 @@ pub fn agreement(a: &[bool], b: &[bool]) -> f64 {
 /// The algorithm's output for node `v` must have length `deg(v)` and is
 /// indexed by `v`'s neighbours in increasing identifier order.
 ///
+/// Engine-backed; [`id_edge_naive`] is the reference path.
+///
 /// # Panics
 ///
 /// Panics if an output vector has the wrong length.
 pub fn id_edge<A: IdEdgeAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> BTreeSet<Edge> {
+    IdEngine::new(g, ids).run_edge(algo)
+}
+
+/// The reference implementation of [`id_edge`]; kept as the
+/// differential-testing oracle.
+///
+/// # Panics
+///
+/// Panics if an output vector has the wrong length.
+pub fn id_edge_naive<A: IdEdgeAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> BTreeSet<Edge> {
     let mut out = BTreeSet::new();
     for v in g.nodes() {
         let bits = algo.evaluate(&id_nbhd(g, ids, v, algo.radius()));
@@ -75,10 +119,22 @@ pub fn id_edge<A: IdEdgeAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> BTreeSet
 /// Runs an OI edge algorithm; assembles the union edge set. Output bits are
 /// indexed by neighbours in increasing rank order.
 ///
+/// Engine-backed; [`oi_edge_naive`] is the reference path.
+///
 /// # Panics
 ///
 /// Panics if an output vector has the wrong length.
 pub fn oi_edge<A: OiEdgeAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> BTreeSet<Edge> {
+    OiEngine::new(g, rank).run_edge(algo)
+}
+
+/// The reference implementation of [`oi_edge`]; kept as the
+/// differential-testing oracle.
+///
+/// # Panics
+///
+/// Panics if an output vector has the wrong length.
+pub fn oi_edge_naive<A: OiEdgeAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> BTreeSet<Edge> {
     let mut out = BTreeSet::new();
     for v in g.nodes() {
         let bits = algo.evaluate(&ordered_nbhd(g, rank, v, algo.radius()));
@@ -97,7 +153,15 @@ pub fn oi_edge<A: OiEdgeAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> BTree
 /// Runs a PO edge algorithm on an L-digraph; assembles the union edge set
 /// over the underlying simple graph. A positive letter `ℓ` selects the
 /// outgoing edge labelled `ℓ`; an inverse letter selects the incoming one.
+///
+/// Engine-backed; [`po_edge_naive`] is the reference path.
 pub fn po_edge<A: PoEdgeAlgorithm>(d: &LDigraph, algo: &A) -> BTreeSet<Edge> {
+    ViewEngine::new(d).run_edge(algo)
+}
+
+/// The reference implementation of [`po_edge`]; kept as the
+/// differential-testing oracle.
+pub fn po_edge_naive<A: PoEdgeAlgorithm>(d: &LDigraph, algo: &A) -> BTreeSet<Edge> {
     let mut out = BTreeSet::new();
     for v in 0..d.node_count() {
         for (letter, selected) in algo.evaluate(&view(d, v, algo.radius())) {
@@ -140,6 +204,31 @@ mod tests {
     use locap_graph::canon::{IdNbhd, OrderedNbhd};
     use locap_graph::gen;
     use locap_lifts::ViewTree;
+
+    #[test]
+    fn to_vertex_set_edge_cases() {
+        assert!(to_vertex_set(&[]).is_empty());
+        assert!(to_vertex_set(&[false, false, false]).is_empty());
+        assert_eq!(to_vertex_set(&[true, true]), BTreeSet::from([0, 1]));
+        assert_eq!(to_vertex_set(&[false, true, false, true]), BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn agreement_edge_cases() {
+        // empty vectors agree vacuously
+        assert_eq!(agreement(&[], &[]), 1.0);
+        assert_eq!(agreement(&[true, true], &[true, true]), 1.0);
+        assert_eq!(agreement(&[true, false], &[false, true]), 0.0);
+        assert_eq!(agreement(&[true, false, true, false], &[true, true, true, true]), 0.5);
+        // false/false positions count as agreement too
+        assert_eq!(agreement(&[false, false], &[false, false]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn agreement_rejects_mismatched_lengths() {
+        let _ = agreement(&[true], &[true, false]);
+    }
 
     /// OI: join the solution iff the centre is a local minimum in order.
     struct LocalMin;

@@ -75,6 +75,9 @@ pub struct Ratio {
     den: i128,
 }
 
+// add/sub/mul/div/neg are *checked* (Result-returning) and so cannot be
+// the std operator traits, which are infallible.
+#[allow(clippy::should_implement_trait)]
 impl Ratio {
     /// The rational number zero.
     pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
@@ -391,9 +394,10 @@ mod tests {
         let big = i128::MAX / 2;
         let a = Ratio::new(big, big - 1).unwrap();
         let b = Ratio::new(big - 1, big - 2).unwrap();
-        // (big)/(big-1) < (big-1)/(big-2) ?  a/b decreasing in numerator:
-        // x/(x-1) is decreasing, so a < b is false; a > b.
-        assert!(a < b || a > b || a == b); // total order holds
+        // x/(x-1) is strictly decreasing, so a = f(big) < f(big-1) = b —
+        // and the comparison must stay exact at i128 scale (no float
+        // round-off can be allowed to flip it)
+        assert_eq!(a.cmp(&b), Ordering::Less);
         assert_eq!(cmp_exact(1, 2, 1, 2), Ordering::Equal);
         assert_eq!(cmp_exact(1, 3, 1, 2), Ordering::Less);
     }

@@ -81,7 +81,7 @@ pub fn solve_exact(g: &Graph) -> VertexSet {
             return;
         }
         // lower bound: each added vertex dominates at most max_cover nodes
-        let lb = (undominated.count_ones() + max_cover - 1) / max_cover;
+        let lb = undominated.count_ones().div_ceil(max_cover);
         if current.len() + lb as usize >= best.len() {
             return;
         }

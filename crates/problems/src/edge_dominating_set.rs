@@ -71,7 +71,7 @@ pub fn solve_exact(g: &Graph) -> EdgeSet {
             }
             return;
         }
-        let lb = (undominated.len() as u32 + dominate_cap - 1) / dominate_cap;
+        let lb = (undominated.len() as u32).div_ceil(dominate_cap);
         if current.len() + lb as usize >= best.len() {
             return;
         }

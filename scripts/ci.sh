@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, tests, strict clippy.
+# Run before every push; CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -1,0 +1,317 @@
+//! Differential lock-down of the memoized view/neighbourhood engine.
+//!
+//! Every engine-backed path (`ViewCache`, `ViewEngine`, the `*_fast`
+//! neighbourhood extractors, the parallel censuses, and the `run::*`
+//! wrappers) must be **bit-identical** to its naive reference
+//! (`view`, `view_census_naive`, `ordered_*_census_naive`, `run::*_naive`)
+//! — same trees, same censuses including sort order, same output bits,
+//! same edge sets. This file drives both paths over five graph families
+//! (cycles, Petersen, random regular graphs, random lifts, homogeneous
+//! constructions — plus the label-complete EDS instances for good
+//! measure) with fixed seeds, and adds proptest generators on top.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use locap_core::eds_lower::eds_instance;
+use locap_core::homogeneous::construct;
+use locap_graph::canon::{
+    ordered_ltype_census, ordered_ltype_census_naive, ordered_type_census,
+    ordered_type_census_naive, IdNbhd, OrderedNbhd,
+};
+use locap_graph::{gen, random, Graph, LDigraph, PoGraph};
+use locap_lifts::{random_lift, view, view_census, view_census_naive, Letter, ViewCache, ViewTree};
+use locap_models::run;
+use locap_models::{
+    IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
+    PoVertexAlgorithm,
+};
+
+// ---------------------------------------------------------------- algorithms
+
+/// PO vertex: join iff the view has an even number of walks.
+struct ViewParity(usize);
+impl PoVertexAlgorithm for ViewParity {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, v: &ViewTree) -> bool {
+        v.size() % 2 == 0
+    }
+}
+
+/// PO edge: select each root letter whose subtree has odd size.
+struct OddSubtrees(usize);
+impl PoEdgeAlgorithm for OddSubtrees {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, v: &ViewTree) -> Vec<(Letter, bool)> {
+        v.root.children.iter().map(|(l, c)| (*l, c.size() % 2 == 1)).collect()
+    }
+}
+
+/// OI vertex: join iff the centre is the order-minimum of its ball.
+struct LocalMin(usize);
+impl OiVertexAlgorithm for LocalMin {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, t: &OrderedNbhd) -> bool {
+        t.root == 0
+    }
+}
+
+/// OI edge: select the edge to the order-smallest neighbour.
+struct FirstEdge(usize);
+impl OiEdgeAlgorithm for FirstEdge {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, t: &OrderedNbhd) -> Vec<bool> {
+        let deg = t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
+        let mut bits = vec![false; deg];
+        if deg > 0 {
+            bits[0] = true;
+        }
+        bits
+    }
+}
+
+/// ID vertex: join iff the centre holds the maximum identifier of its ball.
+struct LocalMaxId(usize);
+impl IdVertexAlgorithm for LocalMaxId {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, n: &IdNbhd) -> bool {
+        n.root as usize == n.ids.len() - 1
+    }
+}
+
+/// ID edge: select edges by the parity of the ball's identifier sum.
+struct ParityEdges(usize);
+impl IdEdgeAlgorithm for ParityEdges {
+    fn radius(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, n: &IdNbhd) -> Vec<bool> {
+        let deg = n.edges.iter().filter(|&&(i, j)| i == n.root || j == n.root).count();
+        let bit = n.ids.iter().sum::<u64>() % 2 == 0;
+        vec![bit; deg]
+    }
+}
+
+// ----------------------------------------------------------- the batteries
+
+/// Asserts every engine-backed PO path agrees with its naive oracle on `d`.
+fn assert_po_identical(d: &LDigraph, r_max: usize) {
+    let mut cache = ViewCache::new(d);
+    for r in 0..=r_max {
+        for v in 0..d.node_count() {
+            assert_eq!(cache.view(v, r), view(d, v, r), "view of {v} at radius {r}");
+        }
+        assert_eq!(view_census(d, r), view_census_naive(d, r), "view census at radius {r}");
+    }
+    let rank: Vec<usize> = (0..d.node_count()).collect();
+    for r in 1..=r_max {
+        assert_eq!(
+            ordered_ltype_census(d, &rank, r),
+            ordered_ltype_census_naive(d, &rank, r),
+            "labelled type census at radius {r}"
+        );
+        let a = ViewParity(r);
+        assert_eq!(run::po_vertex(d, &a), run::po_vertex_naive(d, &a), "po_vertex at {r}");
+        let e = OddSubtrees(r);
+        assert_eq!(run::po_edge(d, &e), run::po_edge_naive(d, &e), "po_edge at {r}");
+    }
+}
+
+/// Asserts the OI and ID engine paths agree with their oracles on `g`.
+fn assert_oi_id_identical(g: &Graph, rank: &[usize], ids: &[u64], r_max: usize) {
+    for r in 1..=r_max {
+        assert_eq!(
+            ordered_type_census(g, rank, r),
+            ordered_type_census_naive(g, rank, r),
+            "ordered type census at radius {r}"
+        );
+        let a = LocalMin(r);
+        assert_eq!(run::oi_vertex(g, rank, &a), run::oi_vertex_naive(g, rank, &a));
+        let e = FirstEdge(r);
+        assert_eq!(run::oi_edge(g, rank, &e), run::oi_edge_naive(g, rank, &e));
+        let a = LocalMaxId(r);
+        assert_eq!(run::id_vertex(g, ids, &a), run::id_vertex_naive(g, ids, &a));
+        let e = ParityEdges(r);
+        assert_eq!(run::id_edge(g, ids, &e), run::id_edge_naive(g, ids, &e));
+    }
+}
+
+/// Full battery on an undirected graph: canonical PO structure + OI/ID
+/// with both the identity order and a seeded random order/id assignment.
+fn assert_all_models(g: &Graph, seed: u64, r_max: usize) {
+    let po = PoGraph::canonical(g);
+    assert_po_identical(po.digraph(), r_max);
+    let n = g.node_count();
+    let identity: Vec<usize> = (0..n).collect();
+    let ids: Vec<u64> = (0..n as u64).map(|v| 10 * v + 7).collect();
+    assert_oi_id_identical(g, &identity, &ids, r_max);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rank = random::random_rank(n, &mut rng);
+    let ids = random::random_ids(n, 1 << 20, &mut rng);
+    assert_oi_id_identical(g, &rank, &ids, r_max);
+}
+
+// ---------------------------------------------------- family 1: cycles
+
+#[test]
+fn family_cycles() {
+    for n in [3usize, 5, 8, 13] {
+        assert_po_identical(&gen::directed_cycle(n), 3);
+        assert_all_models(&gen::cycle(n), 0xC0FFEE + n as u64, 2);
+    }
+}
+
+// --------------------------------------------------- family 2: Petersen
+
+#[test]
+fn family_petersen() {
+    assert_all_models(&gen::petersen(), 0xBEEF, 2);
+}
+
+// -------------------------------------------- family 3: random regular
+
+#[test]
+fn family_random_regular() {
+    for (seed, n, d) in [(1u64, 10usize, 3usize), (2, 12, 3), (3, 16, 4)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random::random_regular(n, d, 200, &mut rng).expect("feasible parameters");
+        assert_all_models(&g, seed ^ 0xABCD, 2);
+    }
+}
+
+// ----------------------------------------------- family 4: random lifts
+
+#[test]
+fn family_random_lifts() {
+    let bases = [gen::directed_cycle(5), PoGraph::canonical(&gen::petersen()).digraph().clone()];
+    for (i, base) in bases.iter().enumerate() {
+        for l in [2usize, 3] {
+            let mut rng = StdRng::seed_from_u64(0x11F7 + (i * 10 + l) as u64);
+            let (lift, _phi) = random_lift(base, l, &mut rng);
+            assert_po_identical(&lift, 2);
+        }
+    }
+}
+
+// --------------------------------------- family 5: homogeneous graphs
+
+#[test]
+fn family_homogeneous() {
+    for (k, r, m) in [(1usize, 1usize, 6u64), (2, 1, 6)] {
+        let h = construct(k, r, m).expect("constructible parameters");
+        assert_po_identical(&h.digraph, 2);
+        let und = h.digraph.underlying_simple();
+        let ids: Vec<u64> = h.rank.iter().map(|&p| p as u64).collect();
+        assert_oi_id_identical(&und, &h.rank, &ids, 1);
+    }
+}
+
+// ------------------------- family 6 (bonus): label-complete instances
+
+#[test]
+fn family_label_complete_eds() {
+    for (dp, n) in [(2usize, 9usize), (4, 14)] {
+        let inst = eds_instance(dp, n).expect("valid EDS parameters");
+        assert_po_identical(&inst.digraph, 3);
+    }
+}
+
+// -------------------------------------------------- engine invariants
+
+#[test]
+fn census_class_count_matches_cache() {
+    let g = gen::petersen();
+    let po = PoGraph::canonical(&g);
+    let d = po.digraph();
+    let mut cache = ViewCache::new(d);
+    for r in 0..=3 {
+        let (classes, _) = cache.root_classes(r);
+        let mut distinct: Vec<u32> = classes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), view_census_naive(d, r).len(), "radius {r}");
+    }
+    // interning pays: the memo must have been hit at least once per reuse
+    let _ = cache.census(3);
+    let stats = cache.stats();
+    assert!(stats.tree_misses > 0, "some tree must be materialised");
+    assert!(stats.dedup_ratio() >= 1.0);
+}
+
+// ---------------------------------------------- proptest generators
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rand::Rng::gen_bool(&mut rng, 0.4) {
+                        g.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+            if g.edge_count() > 0 {
+                return g;
+            }
+        }
+    })
+}
+
+fn arb_lift() -> impl Strategy<Value = LDigraph> {
+    (3usize..7, 2usize..4, any::<u64>()).prop_map(|(n, l, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_lift(&gen::directed_cycle(n), l, &mut rng).0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary graphs: all three model engines match their oracles.
+    #[test]
+    fn prop_engine_matches_naive_on_random_graphs(g in arb_graph(), seed in any::<u64>()) {
+        let po = PoGraph::canonical(&g);
+        let d = po.digraph();
+        prop_assert_eq!(view_census(d, 2), view_census_naive(d, 2));
+        let mut cache = ViewCache::new(d);
+        for v in 0..d.node_count() {
+            prop_assert_eq!(cache.view(v, 2), view(d, v, 2));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rank = random::random_rank(g.node_count(), &mut rng);
+        let ids = random::random_ids(g.node_count(), 1 << 16, &mut rng);
+        let a = LocalMin(1);
+        prop_assert_eq!(run::oi_vertex(&g, &rank, &a), run::oi_vertex_naive(&g, &rank, &a));
+        let a = LocalMaxId(1);
+        prop_assert_eq!(run::id_vertex(&g, &ids, &a), run::id_vertex_naive(&g, &ids, &a));
+    }
+
+    /// Arbitrary random lifts: cached views and censuses match.
+    #[test]
+    fn prop_engine_matches_naive_on_random_lifts(d in arb_lift()) {
+        let mut cache = ViewCache::new(&d);
+        for r in 0..=3 {
+            prop_assert_eq!(view_census(&d, r), view_census_naive(&d, r));
+            for v in 0..d.node_count() {
+                prop_assert_eq!(cache.view(v, r), view(&d, v, r));
+            }
+        }
+        let a = ViewParity(2);
+        prop_assert_eq!(run::po_vertex(&d, &a), run::po_vertex_naive(&d, &a));
+        let e = OddSubtrees(2);
+        prop_assert_eq!(run::po_edge(&d, &e), run::po_edge_naive(&d, &e));
+    }
+}
