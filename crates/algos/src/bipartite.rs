@@ -109,8 +109,7 @@ pub fn koenig_cover(g: &Graph) -> Option<BTreeSet<NodeId>> {
     }
     // alternating BFS from unmatched left vertices
     let mut reached = vec![false; n];
-    let mut q: VecDeque<NodeId> =
-        (0..n).filter(|&v| !colors[v] && mate[v].is_none()).collect();
+    let mut q: VecDeque<NodeId> = (0..n).filter(|&v| !colors[v] && mate[v].is_none()).collect();
     for &v in &q {
         reached[v] = true;
     }
@@ -134,9 +133,8 @@ pub fn koenig_cover(g: &Graph) -> Option<BTreeSet<NodeId>> {
         }
     }
     // cover = (left not reached) ∪ (right reached)
-    let cover: BTreeSet<NodeId> = (0..n)
-        .filter(|&v| if colors[v] { reached[v] } else { !reached[v] })
-        .collect();
+    let cover: BTreeSet<NodeId> =
+        (0..n).filter(|&v| if colors[v] { reached[v] } else { !reached[v] }).collect();
     Some(cover)
 }
 

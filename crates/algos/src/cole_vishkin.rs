@@ -258,8 +258,12 @@ pub fn cycle_mis(g: &Graph, ids: &[u64]) -> CycleMis {
 
     let res = run_sync_with_inputs(g, &ports, None, None, Some(&colors3), &MisFromColors, 10);
     assert!(res.all_halted);
-    let mis: BTreeSet<NodeId> =
-        res.states.iter().enumerate().filter_map(|(v, s)| s.in_mis.then_some(v)).collect();
+    let mis: BTreeSet<NodeId> = res
+        .states
+        .iter()
+        .enumerate()
+        .filter_map(|(v, s)| s.in_mis.then_some(v))
+        .collect();
     CycleMis { mis, reduction_rounds, total_rounds: reduction_rounds + r2 + res.rounds }
 }
 
@@ -274,7 +278,9 @@ fn assert_proper(g: &Graph, colors: &[u64]) {
 pub fn cycle_mis_n(n: usize, ids: Option<Vec<u64>>) -> CycleMis {
     let g = gen::cycle(n);
     let ids = ids.unwrap_or_else(|| {
-        (0..n as u64).map(|v| v.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) | 1).collect()
+        (0..n as u64)
+            .map(|v| v.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) | 1)
+            .collect()
     });
     cycle_mis(&g, &ids)
 }

@@ -32,11 +32,7 @@ pub fn ds_weak_coloring(
     fix_rounds: usize,
 ) -> Option<BTreeSet<NodeId>> {
     let colors = weak_two_coloring(g, orientation, fix_rounds)?;
-    Some(
-        g.nodes()
-            .filter(|&v| !colors[v] /* black */ || g.degree(v) == 0)
-            .collect(),
-    )
+    Some(g.nodes().filter(|&v| !colors[v] /* black */ || g.degree(v) == 0).collect())
 }
 
 #[cfg(test)]

@@ -74,12 +74,7 @@ pub fn double_cover_matching(g: &Graph, ports: &PortNumbering) -> DoubleCoverRun
         matched_nodes.insert(u);
         matched_nodes.insert(v);
     }
-    DoubleCoverRun {
-        cover_matching: res.matching,
-        projected,
-        matched_nodes,
-        rounds: res.rounds,
-    }
+    DoubleCoverRun { cover_matching: res.matching, projected, matched_nodes, rounds: res.rounds }
 }
 
 /// The (4 − 2/Δ′)-approximation of minimum edge dominating set

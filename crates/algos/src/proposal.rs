@@ -64,9 +64,7 @@ impl SyncAlgorithm for ProposalMatching {
         if s.black {
             // Odd rounds: answer the proposals that arrived this round.
             if round % 2 == 1 && s.matched_port.is_none() {
-                if let Some(port) =
-                    inbox.iter().position(|m| matches!(m, Some(Msg::Propose)))
-                {
+                if let Some(port) = inbox.iter().position(|m| matches!(m, Some(Msg::Propose))) {
                     s.matched_port = Some(port);
                     outbox[port] = Some(Msg::Accept);
                 }
@@ -119,15 +117,8 @@ pub fn maximal_matching_2colored(
     }
     let inputs: Vec<u64> = colors.iter().map(|&b| b as u64).collect();
     let max_rounds = 2 * g.max_degree() + 4;
-    let res = run_sync_with_inputs(
-        g,
-        ports,
-        None,
-        None,
-        Some(&inputs),
-        &ProposalMatching,
-        max_rounds,
-    );
+    let res =
+        run_sync_with_inputs(g, ports, None, None, Some(&inputs), &ProposalMatching, max_rounds);
     let mut matching = BTreeSet::new();
     for (v, s) in res.states.iter().enumerate() {
         if s.black {

@@ -39,9 +39,8 @@ pub fn majority_coloring(g: &Graph, orientation: &Orientation) -> Vec<bool> {
 /// Whether `colors` is a weak 2-colouring: every non-isolated node has a
 /// neighbour of the other colour.
 pub fn is_weak_coloring(g: &Graph, colors: &[bool]) -> bool {
-    g.nodes().all(|v| {
-        g.degree(v) == 0 || g.neighbors(v).iter().any(|&u| colors[u] != colors[v])
-    })
+    g.nodes()
+        .all(|v| g.degree(v) == 0 || g.neighbors(v).iter().any(|&u| colors[u] != colors[v]))
 }
 
 /// Conflicted nodes: non-isolated nodes whose entire neighbourhood shares
@@ -84,11 +83,8 @@ pub fn weak_two_coloring(
         };
         let mut flips = Vec::new();
         for &v in &bad {
-            let extremal = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| is_bad[u])
-                .all(|&u| out_deg[u] <= out_deg[v]);
+            let extremal =
+                g.neighbors(v).iter().filter(|&&u| is_bad[u]).all(|&u| out_deg[u] <= out_deg[v]);
             if extremal {
                 flips.push(v);
             }

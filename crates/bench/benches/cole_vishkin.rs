@@ -7,7 +7,9 @@ use locap_algos::cole_vishkin::{cycle_mis, rounds_to_six_colors};
 use locap_graph::gen;
 
 fn ids_for(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|v| v.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) | 1).collect()
+    (0..n as u64)
+        .map(|v| v.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17) | 1)
+        .collect()
 }
 
 fn bench_cv(c: &mut Criterion) {

@@ -22,30 +22,22 @@ fn bench_view_census(c: &mut Criterion) {
 
     let inst = eds_instance(4, 7 * 128).expect("4-regular lift instance");
     for r in [2usize, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("engine/label_complete_n896", r),
-            &r,
-            |b, &r| b.iter(|| black_box(view_census(&inst.digraph, r).len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive/label_complete_n896", r),
-            &r,
-            |b, &r| b.iter(|| black_box(view_census_naive(&inst.digraph, r).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("engine/label_complete_n896", r), &r, |b, &r| {
+            b.iter(|| black_box(view_census(&inst.digraph, r).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/label_complete_n896", r), &r, |b, &r| {
+            b.iter(|| black_box(view_census_naive(&inst.digraph, r).len()))
+        });
     }
 
     let h = construct(2, 1, 16).expect("constructible parameters");
     for r in [2usize, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("engine/homogeneous_n4096", r),
-            &r,
-            |b, &r| b.iter(|| black_box(view_census(&h.digraph, r).len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive/homogeneous_n4096", r),
-            &r,
-            |b, &r| b.iter(|| black_box(view_census_naive(&h.digraph, r).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("engine/homogeneous_n4096", r), &r, |b, &r| {
+            b.iter(|| black_box(view_census(&h.digraph, r).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/homogeneous_n4096", r), &r, |b, &r| {
+            b.iter(|| black_box(view_census_naive(&h.digraph, r).len()))
+        });
     }
 
     let base = PoGraph::canonical(&gen::petersen());

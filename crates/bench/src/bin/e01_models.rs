@@ -5,14 +5,21 @@
 //! the ID neighbourhood (identifier values), the OI neighbourhood
 //! (canonical order type), and the PO view (walk tree).
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprint, hprintln, Table};
 use locap_graph::canon::{id_nbhd, ordered_nbhd};
 use locap_graph::{gen, PoGraph};
 use locap_lifts::view;
 
 fn main() {
-    banner("E01", "Fig. 1 — three models: what a node sees at radius 1");
+    locap_bench::run(
+        "e01_models",
+        "E01",
+        "Fig. 1 — three models: what a node sees at radius 1",
+        body,
+    );
+}
 
+fn body() {
     // Fig. 1's 4-node example graph: a path a-b-c plus pendant d at b.
     let mut g = gen::path(3);
     // add node d = 3 attached to b = 1
@@ -38,14 +45,14 @@ fn main() {
     }
     t.print();
 
-    println!();
-    println!("ID exposes numeric identifiers; OI only their relative order;");
-    println!("PO only the port-numbered, oriented walk structure:");
-    println!();
+    hprintln!();
+    hprintln!("ID exposes numeric identifiers; OI only their relative order;");
+    hprintln!("PO only the port-numbered, oriented walk structure:");
+    hprintln!();
     let vw = view(po.digraph(), 1, 2);
-    println!("view of node b (radius 2) as walks: ");
+    hprintln!("view of node b (radius 2) as walks: ");
     for w in vw.words() {
-        print!("{w}  ");
+        hprint!("{w}  ");
     }
-    println!();
+    hprintln!();
 }

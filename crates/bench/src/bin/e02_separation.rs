@@ -12,19 +12,26 @@
 //!   all-zeros is not maximal. MIS is unsolvable outright.
 
 use locap_algos::cole_vishkin::{cycle_mis_n, rounds_to_six_colors};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_graph::canon::ordered_type_census;
 use locap_graph::gen;
 use locap_lifts::view_census;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
-    banner("E02", "Fig. 2 — MIS on cycles: ID vs OI vs PO");
+    locap_bench::run("e02_separation", "E02", "Fig. 2 — MIS on cycles: ID vs OI vs PO", body);
+}
 
-    println!("\n[ID] Cole–Vishkin MIS, measured rounds (log* behaviour):\n");
+fn body() {
+    hprintln!("\n[ID] Cole–Vishkin MIS, measured rounds (log* behaviour):\n");
     let mut t = Table::new(&[
-        "n", "reduction rounds", "worst over 30 random id draws", "total rounds", "|MIS|", "valid",
+        "n",
+        "reduction rounds",
+        "worst over 30 random id draws",
+        "total rounds",
+        "|MIS|",
+        "valid",
     ]);
     let mut rng = StdRng::seed_from_u64(2012);
     for n in [8usize, 16, 64, 256, 1024, 4096] {
@@ -43,11 +50,18 @@ fn main() {
             })
             .max()
             .unwrap();
-        t.row(&cells([&n, &out.reduction_rounds, &worst, &out.total_rounds, &out.mis.len(), &valid]));
+        t.row(&cells([
+            &n,
+            &out.reduction_rounds,
+            &worst,
+            &out.total_rounds,
+            &out.mis.len(),
+            &valid,
+        ]));
     }
     t.print();
 
-    println!("\n[OI] ordered-type census of C_n, identity order (radius r):\n");
+    hprintln!("\n[OI] ordered-type census of C_n, identity order (radius r):\n");
     let mut t = Table::new(&["n", "r", "types", "largest class", "forced identical fraction"]);
     for (n, r) in [(32usize, 1usize), (32, 2), (256, 2), (256, 3)] {
         let g = gen::cycle(n);
@@ -63,20 +77,20 @@ fn main() {
         ]));
     }
     t.print();
-    println!(
+    hprintln!(
         "\n  ⇒ any radius-r OI algorithm gives the same answer on the largest\n    \
          class; a constant answer on >= n-2r adjacent nodes is never an MIS\n    \
          (all-1 violates independence, all-0 violates maximality)."
     );
 
-    println!("\n[PO] view census of the symmetric directed cycle:\n");
+    hprintln!("\n[PO] view census of the symmetric directed cycle:\n");
     let mut t = Table::new(&["n", "r", "distinct views"]);
     for (n, r) in [(16usize, 1usize), (16, 3), (128, 3)] {
         let d = gen::directed_cycle(n);
         t.row(&cells([&n, &r, &view_census(&d, r).len()]));
     }
     t.print();
-    println!(
+    hprintln!(
         "\n  ⇒ 1 view class: every PO algorithm is constant on C_n — MIS is\n    \
          unsolvable in PO at any constant radius."
     );

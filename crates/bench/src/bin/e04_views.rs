@@ -6,19 +6,21 @@
 //! then verifies that ϕ : V(T) → V(G) is a covering map property on the
 //! truncated tree: every walk's endpoint degree pattern matches.
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprint, hprintln, Table};
 use locap_graph::{Graph, PoGraph};
 use locap_lifts::{t_star_size, view, ViewCache};
 
 fn main() {
-    banner("E04", "Fig. 4 — port numbering → L-digraph → view tree");
+    locap_bench::run("e04_views", "E04", "Fig. 4 — port numbering → L-digraph → view tree", body);
+}
 
+fn body() {
     // Fig. 4a: triangle {u, a, b} plus pendant c on u (4 nodes).
     let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3)]).unwrap();
     let po = PoGraph::canonical(&g);
     let d = po.digraph();
 
-    println!("\nDerived proper labelling (directed edges with port pairs):\n");
+    hprintln!("\nDerived proper labelling (directed edges with port pairs):\n");
     let mut t = Table::new(&["edge", "label id", "(i, j) ports"]);
     for e in d.edges() {
         let (i, j) = po.label_ports(e.label);
@@ -26,18 +28,20 @@ fn main() {
     }
     t.print();
 
-    println!("\nView of node 0 truncated at radius 2 — walks (Fig. 4c):\n");
+    hprintln!("\nView of node 0 truncated at radius 2 — walks (Fig. 4c):\n");
     let v = view(d, 0, 2);
     let words = v.words();
     for w in &words {
-        print!("{w}  ");
+        hprint!("{w}  ");
     }
-    println!("\n\n|τ(T(G,0))| = {} walks; complete tree over |L| = {} has t = {}",
+    hprintln!(
+        "\n\n|τ(T(G,0))| = {} walks; complete tree over |L| = {} has t = {}",
         v.size(),
         d.alphabet_size(),
-        t_star_size(d.alphabet_size(), 2));
+        t_star_size(d.alphabet_size(), 2)
+    );
 
-    println!("\nView sizes per node and radius (via the shared ViewCache):");
+    hprintln!("\nView sizes per node and radius (via the shared ViewCache):");
     let mut cache = ViewCache::new(d);
     let mut t = Table::new(&["node", "r=1", "r=2", "r=3"]);
     for node in 0..4 {
@@ -51,7 +55,7 @@ fn main() {
     t.print();
 
     let stats = cache.stats();
-    println!(
+    hprintln!(
         "\nview-engine counters: {} states, classes by level {:?}, \
          tree memo {} hits / {} misses, dedup {:.2}x, {} worker(s)",
         stats.states,
@@ -62,7 +66,7 @@ fn main() {
         stats.workers,
     );
 
-    println!("\nEvery view embeds into T* (checked): {}", {
+    hprintln!("\nEvery view embeds into T* (checked): {}", {
         let t_star = locap_lifts::complete_tree(d.alphabet_size(), 2);
         (0..4).all(|n| view(d, n, 2).embeds_in(&t_star))
     });

@@ -7,14 +7,23 @@
 
 use std::time::Instant;
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprint, hprintln, Table};
 use locap_core::eds_lower::eds_instance;
-use locap_lifts::{complete_tree, reduced_words, t_star_size, view_census, view_census_naive, ViewCache};
+use locap_lifts::{
+    complete_tree, reduced_words, t_star_size, view_census, view_census_naive, ViewCache,
+};
 
 fn main() {
-    banner("E05", "Fig. 5 — the complete L-labelled tree (T*, λ)");
+    locap_bench::run(
+        "e05_complete_tree",
+        "E05",
+        "Fig. 5 — the complete L-labelled tree (T*, λ)",
+        body,
+    );
+}
 
-    println!("\nt = |T*| (vertices = reduced words of length ≤ r):\n");
+fn body() {
+    hprintln!("\nt = |T*| (vertices = reduced words of length ≤ r):\n");
     let mut t = Table::new(&["|L|", "r=1", "r=2", "r=3", "r=4"]);
     for labels in 1..=4usize {
         t.row(&cells([
@@ -27,26 +36,22 @@ fn main() {
     }
     t.print();
 
-    println!("\nFig. 5 instance |L| = 2, r = 2: the 17 reduced words:\n");
+    hprintln!("\nFig. 5 instance |L| = 2, r = 2: the 17 reduced words:\n");
     for w in reduced_words(2, 2) {
-        print!("{w}  ");
+        hprint!("{w}  ");
     }
-    println!();
+    hprintln!();
 
     let tree = complete_tree(2, 2);
-    println!("\nroot children: {} (= 2|L|)", tree.root.children.len());
-    let inner_ok = tree
-        .root
-        .children
-        .iter()
-        .all(|(_, c)| c.children.len() == 3);
-    println!("every depth-1 node has 3 children (= 2|L| − 1): {inner_ok}");
-    println!("size matches closed formula: {}", tree.size() == t_star_size(2, 2));
+    hprintln!("\nroot children: {} (= 2|L|)", tree.root.children.len());
+    let inner_ok = tree.root.children.iter().all(|(_, c)| c.children.len() == 3);
+    hprintln!("every depth-1 node has 3 children (= 2|L| − 1): {inner_ok}");
+    hprintln!("size matches closed formula: {}", tree.size() == t_star_size(2, 2));
 
     // On a label-complete L-digraph every radius-r view IS (T*, λ), so the
     // engine interns all n trees into a single class — the extreme case of
     // its memoization. Compare against the per-vertex reference path.
-    println!("\nView engine on a label-complete instance (|L| = 2, every view = T*):\n");
+    hprintln!("\nView engine on a label-complete instance (|L| = 2, every view = T*):\n");
     let inst = eds_instance(4, 7 * 512).expect("4-regular lift instance");
     let d = &inst.digraph;
     let r = 3;
@@ -60,14 +65,14 @@ fn main() {
     let mut cache = ViewCache::new(d);
     let _ = cache.census(r);
     let stats = cache.stats();
-    println!(
+    hprintln!(
         "n = {}, r = {r}: {} view class(es), |view| = {} = t_star_size(2, {r}) = {}",
         d.node_count(),
         census.len(),
         census[0].0.size(),
         t_star_size(2, r),
     );
-    println!(
+    hprintln!(
         "engine counters: {} states, classes by level {:?}, tree memo {} hits / {} misses, \
          dedup {:.1}x, {} worker(s)",
         stats.states,
@@ -77,7 +82,7 @@ fn main() {
         stats.dedup_ratio(),
         stats.workers,
     );
-    println!(
+    hprintln!(
         "census time: naive {:.2?} vs engine {:.2?} ({:.1}x)",
         t_naive,
         t_engine,

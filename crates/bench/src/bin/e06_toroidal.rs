@@ -7,16 +7,23 @@
 //!     states it is (4/9, 1)- and (1/9, 2)-homogeneous. We reproduce the
 //!     exact fractions by a full ordered-type census.
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_graph::canon::ordered_ltype_census;
 use locap_graph::product::toroidal;
 use locap_num::Ratio;
 
 fn main() {
-    banner("E06", "Fig. 6b — toroidal grids are homogeneous (exact census)");
+    locap_bench::run(
+        "e06_toroidal",
+        "E06",
+        "Fig. 6b — toroidal grids are homogeneous (exact census)",
+        body,
+    );
+}
 
-    println!("\n6×6 torus (cartesian product of two directed 6-cycles),");
-    println!("lexicographic order 11 < 12 < … < 66 (paper's Fig. 6b):\n");
+fn body() {
+    hprintln!("\n6×6 torus (cartesian product of two directed 6-cycles),");
+    hprintln!("lexicographic order 11 < 12 < … < 66 (paper's Fig. 6b):\n");
 
     let mut t = Table::new(&["k", "m", "r", "largest class", "n", "fraction", "paper"]);
     for (k, m, r, paper) in [
@@ -36,13 +43,15 @@ fn main() {
     }
     t.print();
 
-    println!("\nThe k=2, m=6 rows reproduce the paper's exact figures:");
-    println!("  (4/9, 1)-homogeneous and (1/9, 2)-homogeneous.");
-    println!("In general the fraction is ((m−2r)/m)^k — the inner box whose");
-    println!("radius-r neighbourhood avoids the lexicographic seam.");
+    hprintln!("\nThe k=2, m=6 rows reproduce the paper's exact figures:");
+    hprintln!("  (4/9, 1)-homogeneous and (1/9, 2)-homogeneous.");
+    hprintln!("In general the fraction is ((m−2r)/m)^k — the inner box whose");
+    hprintln!("radius-r neighbourhood avoids the lexicographic seam.");
 
-    println!("\nGirth check (P3 fails for tori, motivating Thm 3.2):");
+    hprintln!("\nGirth check (P3 fails for tori, motivating Thm 3.2):");
     let d = toroidal(2, 6);
-    println!("  girth(6×6 torus) = {:?} (< 2r+2 already at r = 1)",
-        d.underlying().unwrap().girth());
+    hprintln!(
+        "  girth(6×6 torus) = {:?} (< 2r+2 already at r = 1)",
+        d.underlying().unwrap().girth()
+    );
 }

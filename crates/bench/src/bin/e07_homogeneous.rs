@@ -8,16 +8,32 @@
 
 use std::time::Instant;
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::homogeneous::{construct, construct_for_epsilon};
 use locap_num::Ratio;
 
 fn main() {
-    banner("E07", "Thm 3.2 — (1−ε, r)-homogeneous 2k-regular graphs, girth > 2r+1");
+    locap_bench::run(
+        "e07_homogeneous",
+        "E07",
+        "Thm 3.2 — (1−ε, r)-homogeneous 2k-regular graphs, girth > 2r+1",
+        body,
+    );
+}
 
-    println!();
+fn body() {
+    hprintln!();
     let mut t = Table::new(&[
-        "k", "r", "m", "level", "n", "girth>", "gens", "census α", "bound ((m−2r)/m)^d", "time",
+        "k",
+        "r",
+        "m",
+        "level",
+        "n",
+        "girth>",
+        "gens",
+        "census α",
+        "bound ((m−2r)/m)^d",
+        "time",
     ]);
     let mut tau_consistency = Vec::new();
     let total = Instant::now();
@@ -68,14 +84,14 @@ fn main() {
         tau_consistency.push((k, r, consistent));
     }
     t.print();
-    println!("\ntotal construction+census wall time: {:.2?}", total.elapsed());
+    hprintln!("\ntotal construction+census wall time: {:.2?}", total.elapsed());
 
-    println!("\nτ* independence of ε (same type for every m):");
+    hprintln!("\nτ* independence of ε (same type for every m):");
     for (k, r, ok) in tau_consistency {
-        println!("  k={k}, r={r}: {}", if ok { "CONSISTENT" } else { "MISMATCH" });
+        hprintln!("  k={k}, r={r}: {}", if ok { "CONSISTENT" } else { "MISMATCH" });
     }
 
-    println!("\n\"for every ε\" form — smallest m with bound ≥ 1−ε (level 2):\n");
+    hprintln!("\n\"for every ε\" form — smallest m with bound ≥ 1−ε (level 2):\n");
     let mut t = Table::new(&["k", "r", "ε", "chosen m", "n", "census α"]);
     for (k, r, num, den) in [(1usize, 1usize, 1i128, 4i128), (1, 1, 1, 10), (2, 1, 1, 4)] {
         let eps = Ratio::new(num, den).unwrap();

@@ -5,7 +5,7 @@
 //! verified properties: covering map, girth, good-vertex fraction, and
 //! view invariance under the lift.
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::eds_lower;
 use locap_core::hom_lift::homogeneous_lift;
 use locap_core::homogeneous::construct;
@@ -13,11 +13,17 @@ use locap_graph::gen;
 use locap_lifts::view;
 
 fn main() {
-    banner("E08", "Thm 3.3 / Fig. 7 — homogeneous lifts G_ε = H_ε × G");
+    locap_bench::run(
+        "e08_homlift",
+        "E08",
+        "Thm 3.3 / Fig. 7 — homogeneous lifts G_ε = H_ε × G",
+        body,
+    );
+}
 
-    let mut t = Table::new(&[
-        "G", "|G|", "k", "m", "|G_ε|", "good fraction", "≥ α(H)", "views invariant",
-    ]);
+fn body() {
+    let mut t =
+        Table::new(&["G", "|G|", "k", "m", "|G_ε|", "good fraction", "≥ α(H)", "views invariant"]);
 
     // base graphs over 1 and 2 labels
     let bases: Vec<(&str, locap_graph::LDigraph, usize)> = vec![
@@ -31,15 +37,15 @@ fn main() {
             let h = match construct(k, 1, m) {
                 Ok(h) => h,
                 Err(e) => {
-                    println!("H construction failed for k={k}, m={m}: {e}");
+                    hprintln!("H construction failed for k={k}, m={m}: {e}");
                     continue;
                 }
             };
             match homogeneous_lift(&g, &h) {
                 Ok(c) => {
-                    let views_ok = (0..c.node_count()).step_by(7).all(|v| {
-                        view(&c.lift, v, h.radius) == view(&g, c.phi.image(v), h.radius)
-                    });
+                    let views_ok = (0..c.node_count())
+                        .step_by(7)
+                        .all(|v| view(&c.lift, v, h.radius) == view(&g, c.phi.image(v), h.radius));
                     t.row(&cells([
                         &name,
                         &g.node_count(),
@@ -68,6 +74,6 @@ fn main() {
     }
     t.print();
 
-    println!("\nAll lifts verified: covering map (exact), girth > 2r+1 (sampled),");
-    println!("order-embeds-in-τ* on good vertices (sampled pairwise order check).");
+    hprintln!("\nAll lifts verified: covering map (exact), girth > 2r+1 (sampled),");
+    hprintln!("order-embeds-in-τ* on good vertices (sampled pairwise order check).");
 }

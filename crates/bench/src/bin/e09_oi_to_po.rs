@@ -5,7 +5,7 @@
 //! Fact 4.2's agreement fraction on homogeneous lifts, plus B's
 //! feasibility and approximation ratio on the base graph.
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::homogeneous::construct;
 use locap_core::transfer::transfer_vertex;
 use locap_graph::canon::OrderedNbhd;
@@ -38,16 +38,30 @@ impl OiVertexAlgorithm for LocalMinIs {
 }
 
 fn main() {
-    banner("E09", "Thm 4.1 — OI → PO simulation with agreement accounting");
+    locap_bench::run(
+        "e09_oi_to_po",
+        "E09",
+        "Thm 4.1 — OI → PO simulation with agreement accounting",
+        body,
+    );
+}
 
+fn body() {
     let mut t = Table::new(&[
-        "A (OI)", "G", "m", "lift nodes", "agreement", "α(H)", "B(G) size", "feasible", "ratio",
+        "A (OI)",
+        "G",
+        "m",
+        "lift nodes",
+        "agreement",
+        "α(H)",
+        "B(G) size",
+        "feasible",
+        "ratio",
     ]);
 
-    for (g_name, g) in [
-        ("directed C12", gen::directed_cycle(12)),
-        ("directed C30", gen::directed_cycle(30)),
-    ] {
+    for (g_name, g) in
+        [("directed C12", gen::directed_cycle(12)), ("directed C30", gen::directed_cycle(30))]
+    {
         for m in [6u64, 12, 20] {
             let h = construct(1, 1, m).unwrap();
 
@@ -96,11 +110,11 @@ fn main() {
     }
     t.print();
 
-    println!("\nReading the table:");
-    println!("  • agreement ≥ α(H) everywhere — Fact 4.2;");
-    println!("  • B is lift-invariant (checked exactly inside transfer_vertex);");
-    println!("  • VC: B selects everything on symmetric cycles (feasible, ratio 2);");
-    println!("  • IS: B selects nothing (feasible but ratio undefined/∞) —");
-    println!("    the §1.4 claim that no constant-factor PO independent-set");
-    println!("    algorithm exists, here *derived* from an OI algorithm via B.");
+    hprintln!("\nReading the table:");
+    hprintln!("  • agreement ≥ α(H) everywhere — Fact 4.2;");
+    hprintln!("  • B is lift-invariant (checked exactly inside transfer_vertex);");
+    hprintln!("  • VC: B selects everything on symmetric cycles (feasible, ratio 2);");
+    hprintln!("  • IS: B selects nothing (feasible but ratio undefined/∞) —");
+    hprintln!("    the §1.4 claim that no constant-factor PO independent-set");
+    hprintln!("    algorithm exists, here *derived* from an OI algorithm via B.");
 }

@@ -5,7 +5,7 @@
 //! monochromatic set J, derives the OI algorithm B, and verifies that the
 //! ID algorithm agrees with B on every identifier window drawn from J.
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::ramsey::{ramsey_cycle_transfer, verify_monochromatic};
 use locap_graph::canon::IdNbhd;
 use locap_models::{run, IdVertexAlgorithm};
@@ -68,13 +68,7 @@ fn report<A: IdVertexAlgorithm + Clone>(name: &str, algo: A, t: &mut locap_bench
             };
             let b_out = run::oi_vertex(&g, &rank, &oi);
             let agree = run::agreement(&a_out, &b_out);
-            t.row(&cells([
-                &name,
-                &format!("{j:?}"),
-                &bit,
-                &verified,
-                &format!("{agree:.3}"),
-            ]));
+            t.row(&cells([&name, &format!("{j:?}"), &bit, &verified, &format!("{agree:.3}")]));
         }
         None => {
             t.row(&cells([&name, &"NOT FOUND", &false, &false, &"-"]));
@@ -83,9 +77,16 @@ fn report<A: IdVertexAlgorithm + Clone>(name: &str, algo: A, t: &mut locap_bench
 }
 
 fn main() {
-    banner("E10", "§4.2 — Ramsey forces ID algorithms to be order-invariant");
+    locap_bench::run(
+        "e10_ramsey",
+        "E10",
+        "§4.2 — Ramsey forces ID algorithms to be order-invariant",
+        body,
+    );
+}
 
-    println!("\nt = 2r+1 = 3, universe {{1..60}}, looking for |J| = 9:\n");
+fn body() {
+    hprintln!("\nt = 2r+1 = 3, universe {{1..60}}, looking for |J| = 9:\n");
     let mut t = Table::new(&[
         "ID algorithm",
         "monochromatic J",
@@ -98,9 +99,9 @@ fn main() {
     report("SumMod3 (value-sensitive)", SumMod3, &mut t);
     t.print();
 
-    println!("\nInside J every ID algorithm is order-invariant: its outputs on");
-    println!("identifier windows from J depend only on the relative order — the");
-    println!("hypothesis the OI → PO machinery (E09) needs. The paper obtains an");
-    println!("infinite supply of such windows from Ramsey's theorem (Prop. 4.4/4.5);");
-    println!("here the monochromatic sets are found by exact search.");
+    hprintln!("\nInside J every ID algorithm is order-invariant: its outputs on");
+    hprintln!("identifier windows from J depend only on the relative order — the");
+    hprintln!("hypothesis the OI → PO machinery (E09) needs. The paper obtains an");
+    hprintln!("infinite supply of such windows from Ramsey's theorem (Prop. 4.4/4.5);");
+    hprintln!("here the monochromatic sets are found by exact search.");
 }

@@ -13,7 +13,7 @@
 //! 4 − 2/Δ′.
 
 use locap_algos::double_cover::eds_double_cover;
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::eds_lower::{eds_bound, eds_instance, lower_bound_report, perfect_eds_size};
 use locap_graph::{gen, random, PortNumbering};
 use locap_problems::{approx_ratio, edge_dominating_set, Goal};
@@ -21,11 +21,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("E11", "Thm 1.6 — EDS: tight 4 − 2/Δ′ in all three models");
+    locap_bench::run("e11_eds", "E11", "Thm 1.6 — EDS: tight 4 − 2/Δ′ in all three models", body);
+}
 
-    println!("\n[Lower bound] certified PO lower bounds on reconstructed G₀:\n");
+fn body() {
+    hprintln!("\n[Lower bound] certified PO lower bounds on reconstructed G₀:\n");
     let mut t = Table::new(&[
-        "Δ′", "n", "lift", "view classes", "min symmetric", "OPT", "ratio", "4−2/Δ′", "tight",
+        "Δ′",
+        "n",
+        "lift",
+        "view classes",
+        "min symmetric",
+        "OPT",
+        "ratio",
+        "4−2/Δ′",
+        "tight",
     ]);
     let searches: Vec<(usize, Vec<usize>)> =
         vec![(2, vec![3, 9, 21, 30]), (4, vec![7, 14, 28]), (6, vec![11, 22])];
@@ -65,7 +75,7 @@ fn main() {
     }
     t.print();
 
-    println!("\n[Upper bound] double-cover EDS algorithm vs exact OPT:\n");
+    hprintln!("\n[Upper bound] double-cover EDS algorithm vs exact OPT:\n");
     let mut t = Table::new(&["graph", "Δ", "Δ′", "|D|", "OPT", "ratio", "≤ 4−2/Δ′"]);
     let mut rng = StdRng::seed_from_u64(31);
     let suite: Vec<(String, locap_graph::Graph)> = vec![
@@ -100,7 +110,7 @@ fn main() {
     }
     t.print();
 
-    println!("\nShape vs paper: lower = upper = 4 − 2/Δ′ (3 for Δ′=2, 7/2 for Δ′=4):");
-    println!("the gap the paper closed (prior ID/OI bound was 3 − ε) is closed here");
-    println!("computationally — the lower-bound instances beat 3 for Δ′ = 4.");
+    hprintln!("\nShape vs paper: lower = upper = 4 − 2/Δ′ (3 for Δ′=2, 7/2 for Δ′=4):");
+    hprintln!("the gap the paper closed (prior ID/OI bound was 3 − ε) is closed here");
+    hprintln!("computationally — the lower-bound instances beat 3 for Δ′ = 4.");
 }

@@ -7,11 +7,11 @@
 //! PO algorithm constant per letter, and the best constant solution is
 //! enumerated exactly.
 
-use locap_algos::double_cover::eds_double_cover;
 use locap_algos::dominating::ds_all_nodes;
+use locap_algos::double_cover::eds_double_cover;
 use locap_algos::edge_cover_local::edge_cover_first_port;
 use locap_algos::edge_packing::vc_edge_packing;
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_core::eds_lower::{eds_bound, eds_instance, lower_bound_report};
 use locap_graph::{gen, random, Graph, PortNumbering};
 use locap_lifts::view_census;
@@ -37,9 +37,16 @@ fn suite() -> Vec<(String, Graph)> {
 }
 
 fn main() {
-    banner("E12", "§1.4 claims table — measured upper bounds + forced lower bounds");
+    locap_bench::run(
+        "e12_claims_table",
+        "E12",
+        "§1.4 claims table — measured upper bounds + forced lower bounds",
+        body,
+    );
+}
 
-    println!("\n[Upper bounds] PO algorithms vs exact OPT (worst ratio over suite):\n");
+fn body() {
+    hprintln!("\n[Upper bounds] PO algorithms vs exact OPT (worst ratio over suite):\n");
     let mut worst_vc = Ratio::ONE;
     let mut worst_ec = Ratio::ONE;
     let mut worst_eds = Ratio::ONE;
@@ -72,12 +79,10 @@ fn main() {
         t.row(&cells([&name, &r_vc, &r_ec, &r_eds, &r_ds]));
     }
     t.print();
-    println!(
-        "\nworst measured: VC {worst_vc}, EC {worst_ec}, EDS {worst_eds}, DS {worst_ds}"
-    );
-    println!("paper's tight factors: VC 2, EC 2, EDS 4−2/Δ′, DS Δ′+1");
+    hprintln!("\nworst measured: VC {worst_vc}, EC {worst_ec}, EDS {worst_eds}, DS {worst_ds}");
+    hprintln!("paper's tight factors: VC 2, EC 2, EDS 4−2/Δ′, DS Δ′+1");
 
-    println!("\n[Lower bounds] forced outputs on PO-symmetric instances:\n");
+    hprintln!("\n[Lower bounds] forced outputs on PO-symmetric instances:\n");
 
     // vertex problems on the symmetric directed cycle: any PO algorithm
     // outputs a constant bit; enumerate both.
@@ -85,7 +90,14 @@ fn main() {
     let d = gen::directed_cycle(n);
     assert_eq!(view_census(&d, 2).len(), 1);
     let und = d.underlying().unwrap();
-    let mut t = Table::new(&["problem", "feasible constants", "best forced", "OPT", "forced ratio", "paper bound"]);
+    let mut t = Table::new(&[
+        "problem",
+        "feasible constants",
+        "best forced",
+        "OPT",
+        "forced ratio",
+        "paper bound",
+    ]);
 
     // vertex cover: constant-0 infeasible, constant-1 gives n
     {
@@ -140,6 +152,6 @@ fn main() {
     }
     t.print();
 
-    println!("\nOn PO-symmetric instances the forced ratios match the paper's table;");
-    println!("Thms 1.3/1.4 lift these PO lower bounds to OI and ID (see E09/E10).");
+    hprintln!("\nOn PO-symmetric instances the forced ratios match the paper's table;");
+    hprintln!("Thms 1.3/1.4 lift these PO lower bounds to OI and ID (see E09/E10).");
 }

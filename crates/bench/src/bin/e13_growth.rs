@@ -6,14 +6,21 @@
 //! fraction boundary. We tabulate exact ball sizes of U₂/U₃ against the
 //! free-group tree and the box cap (2r+1)^d of Eq. (2).
 
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_groups::growth::{ball_sizes, box_cap, free_ball_size, growth_exponents};
 use locap_groups::IterGroup;
 
 fn main() {
-    banner("E13", "§5.2 — polynomial growth of U vs exponential growth of the free group");
+    locap_bench::run(
+        "e13_growth",
+        "E13",
+        "§5.2 — polynomial growth of U vs exponential growth of the free group",
+        body,
+    );
+}
 
-    println!("\nball sizes |B(1, r)|, k = 2 generators:\n");
+fn body() {
+    hprintln!("\nball sizes |B(1, r)|, k = 2 generators:\n");
     let u2 = IterGroup::infinite(2).unwrap();
     let gens2 = vec![vec![1i64, 0, 0], vec![0, 0, 1]];
     let sizes2 = ball_sizes(&u2, &gens2, 8);
@@ -22,7 +29,8 @@ fn main() {
     let gens3 = vec![vec![1i64, 0, 0, 0, 0, 0, 0], vec![0, 0, 0, 0, 0, 0, 1]];
     let sizes3 = ball_sizes(&u3, &gens3, 6);
 
-    let mut t = Table::new(&["r", "U₂ (d=3)", "cap (2r+1)³", "U₃ (d=7)", "cap (2r+1)⁷", "free F₂ (tree)"]);
+    let mut t =
+        Table::new(&["r", "U₂ (d=3)", "cap (2r+1)³", "U₃ (d=7)", "cap (2r+1)⁷", "free F₂ (tree)"]);
     for r in 0..=8usize {
         t.row(&cells([
             &r,
@@ -35,11 +43,23 @@ fn main() {
     }
     t.print();
 
-    println!("\nempirical growth exponents (≈ constant d for polynomial growth):");
-    println!("  U₂: {:?}", growth_exponents(&sizes2).iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("  U₃: {:?}", growth_exponents(&sizes3).iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+    hprintln!("\nempirical growth exponents (≈ constant d for polynomial growth):");
+    hprintln!(
+        "  U₂: {:?}",
+        growth_exponents(&sizes2)
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    hprintln!(
+        "  U₃: {:?}",
+        growth_exponents(&sizes3)
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
-    println!("\nconsequence (the paper's cut argument): cutting U down to the box");
-    println!("[0, m)^d leaves boundary fraction 1 − ((m−2r)/m)^d → 0, which is");
-    println!("impossible in the free group where |B(r)| grows like 3^r.");
+    hprintln!("\nconsequence (the paper's cut argument): cutting U down to the box");
+    hprintln!("[0, m)^d leaves boundary fraction 1 − ((m−2r)/m)^d → 0, which is");
+    hprintln!("impossible in the free group where |B(r)| grows like 3^r.");
 }

@@ -10,19 +10,21 @@
 use std::collections::BTreeSet;
 
 use locap_algos::weak_coloring::{is_weak_coloring, weak_two_coloring};
-use locap_bench::{banner, cells, Table};
+use locap_bench::{cells, hprintln, Table};
 use locap_graph::{Orientation, PoGraph};
 use locap_lifts::pn::{k4_edge_coloring, pn_view_census, ports_from_edge_coloring};
 use locap_lifts::view_census;
 use locap_problems::dominating_set;
 
 fn main() {
-    banner("E14", "§6.1 — PO is strictly stronger than PN");
+    locap_bench::run("e14_po_vs_pn", "E14", "§6.1 — PO is strictly stronger than PN", body);
+}
 
+fn body() {
     let (g, col) = k4_edge_coloring();
     let ports = ports_from_edge_coloring(&g, &col).expect("K4 is 3-edge-colourable");
 
-    println!("\n[PN] K4 with colour-derived ports — view census by radius:\n");
+    hprintln!("\n[PN] K4 with colour-derived ports — view census by radius:\n");
     let mut t = Table::new(&["r", "distinct PN views", "⇒"]);
     for r in 0..=4usize {
         let census = pn_view_census(&g, &ports, r);
@@ -33,10 +35,10 @@ fn main() {
         ]));
     }
     t.print();
-    println!("\n  constant output ⇒ dominating set must be ∅ (infeasible) or all 4");
-    println!("  nodes (trivial): PN cannot produce a non-trivial dominating set.");
+    hprintln!("\n  constant output ⇒ dominating set must be ∅ (infeasible) or all 4");
+    hprintln!("  nodes (trivial): PN cannot produce a non-trivial dominating set.");
 
-    println!("\n[PO] the same ports with every one of the 2^6 orientations:\n");
+    hprintln!("\n[PO] the same ports with every one of the 2^6 orientations:\n");
     let edges = g.edge_vec();
     let mut min_classes = usize::MAX;
     let mut weak_successes = 0usize;
@@ -57,12 +59,13 @@ fn main() {
             }
         }
     }
-    let mut t = Table::new(&["orientations", "min view classes", "weak 2-colourings", "non-trivial DS"]);
+    let mut t =
+        Table::new(&["orientations", "min view classes", "weak 2-colourings", "non-trivial DS"]);
     t.row(&cells([&64usize, &min_classes, &weak_successes, &nontrivial_ds]));
     t.print();
 
-    println!("\n  every orientation yields ≥ {min_classes} view classes: PO always breaks");
-    println!("  symmetry on odd-degree graphs (Σ(out−in) = 0 forces disagreement),");
-    println!("  and the weak-colouring dominating set is non-trivial whenever the");
-    println!("  colouring succeeds — the §6.1 separation, reproduced.");
+    hprintln!("\n  every orientation yields ≥ {min_classes} view classes: PO always breaks");
+    hprintln!("  symmetry on odd-degree graphs (Σ(out−in) = 0 forces disagreement),");
+    hprintln!("  and the weak-colouring dominating set is non-trivial whenever the");
+    hprintln!("  colouring succeeds — the §6.1 separation, reproduced.");
 }

@@ -1,18 +1,76 @@
-//! Shared table-printing helpers for the experiment binaries.
+//! Shared helpers for the experiment binaries and the perf-regression
+//! gate.
 //!
 //! Each binary `eNN_…` regenerates one figure or claims table of the paper
 //! (see DESIGN.md §3 for the index and EXPERIMENTS.md for recorded
 //! outputs). The helpers here render aligned ASCII tables so the binaries'
-//! stdout is directly pasteable into EXPERIMENTS.md.
+//! stdout is directly pasteable into EXPERIMENTS.md — and, when the
+//! `OBS_JSON` environment variable is set, suppress the human output and
+//! emit a single machine-readable JSON line from the observability
+//! registry instead (see [`run`]).
+//!
+//! The [`gate`] module implements the regression gate behind the
+//! `bench_gate` binary: it parses the checked-in `BENCH_views.json`
+//! baseline, reruns the corresponding criterion-shim benches, and fails on
+//! median regressions beyond a configurable tolerance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Prints a header banner for an experiment.
+pub mod gate;
+
+use locap_obs as obs;
+
+/// Whether human-readable output is enabled: true unless the `OBS_JSON`
+/// environment variable is set to a non-empty value other than `0`.
+pub fn human_output() -> bool {
+    match std::env::var_os("OBS_JSON") {
+        None => true,
+        Some(v) => v.is_empty() || v == "0",
+    }
+}
+
+/// `println!` gated on [`human_output`]: silent under `OBS_JSON=1` so the
+/// JSON line stays the only stdout output.
+#[macro_export]
+macro_rules! hprintln {
+    ($($arg:tt)*) => {
+        if $crate::human_output() {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// `print!` gated on [`human_output`].
+#[macro_export]
+macro_rules! hprint {
+    ($($arg:tt)*) => {
+        if $crate::human_output() {
+            print!($($arg)*);
+        }
+    };
+}
+
+/// Runs one experiment body with observability wiring: prints the banner,
+/// times the body under a `total` span, and — when `OBS_JSON` is set —
+/// emits the registry snapshot as a single JSON line on stdout (schema
+/// shared with `BENCH_views.json`; `source` tags the emitting binary).
+pub fn run(source: &str, id: &str, title: &str, body: impl FnOnce()) {
+    banner(id, title);
+    {
+        let _total = obs::span("total");
+        body();
+    }
+    if !human_output() {
+        println!("{}", obs::snapshot().to_json(source));
+    }
+}
+
+/// Prints a header banner for an experiment (human output only).
 pub fn banner(id: &str, title: &str) {
-    println!("================================================================");
-    println!("{id}: {title}");
-    println!("================================================================");
+    hprintln!("================================================================");
+    hprintln!("{id}: {title}");
+    hprintln!("================================================================");
 }
 
 /// A minimal aligned-column table printer.
@@ -35,8 +93,11 @@ impl Table {
         self
     }
 
-    /// Renders the table to stdout.
+    /// Renders the table to stdout (human output only).
     pub fn print(&self) {
+        if !human_output() {
+            return;
+        }
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for row in &self.rows {
@@ -82,5 +143,11 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new(&["a"]);
         t.row(&cells([&1, &2]));
+    }
+
+    #[test]
+    fn human_output_defaults_on() {
+        // The test runner does not set OBS_JSON.
+        assert!(human_output());
     }
 }

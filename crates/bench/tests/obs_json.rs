@@ -1,0 +1,50 @@
+//! Every experiment binary must, under `OBS_JSON=1`, print exactly one
+//! line of schema-valid JSON (and nothing else) on stdout — that is the
+//! contract the CI smoke job's metrics artifact depends on.
+
+use locap_obs::json::Json;
+
+fn check_binary(name: &str, exe: &str) {
+    let out = std::process::Command::new(exe)
+        .env("OBS_JSON", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
+    assert!(out.status.success(), "{name}: exit {}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap_or_else(|e| panic!("{name}: utf8: {e}"));
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "{name}: expected exactly one stdout line, got {}", lines.len());
+    let doc = Json::parse(lines[0]).unwrap_or_else(|e| panic!("{name}: JSON parse: {e}"));
+    locap_obs::validate_bench_schema(&doc)
+        .unwrap_or_else(|e| panic!("{name}: schema validation: {e}"));
+    assert_eq!(doc.get("source").and_then(Json::as_str), Some(name), "{name}: source tag mismatch");
+    // each binary times its body: a `total` span row must be present
+    let results = doc.get("results").and_then(Json::as_array).expect("results array");
+    assert!(
+        results.iter().any(|r| r.get("name").and_then(Json::as_str) == Some("total")),
+        "{name}: missing the total span row"
+    );
+}
+
+macro_rules! obs_json_test {
+    ($test:ident, $bin:literal, $exe:expr) => {
+        #[test]
+        fn $test() {
+            check_binary($bin, $exe);
+        }
+    };
+}
+
+obs_json_test!(e01, "e01_models", env!("CARGO_BIN_EXE_e01_models"));
+obs_json_test!(e02, "e02_separation", env!("CARGO_BIN_EXE_e02_separation"));
+obs_json_test!(e03, "e03_lifts", env!("CARGO_BIN_EXE_e03_lifts"));
+obs_json_test!(e04, "e04_views", env!("CARGO_BIN_EXE_e04_views"));
+obs_json_test!(e05, "e05_complete_tree", env!("CARGO_BIN_EXE_e05_complete_tree"));
+obs_json_test!(e06, "e06_toroidal", env!("CARGO_BIN_EXE_e06_toroidal"));
+obs_json_test!(e07, "e07_homogeneous", env!("CARGO_BIN_EXE_e07_homogeneous"));
+obs_json_test!(e08, "e08_homlift", env!("CARGO_BIN_EXE_e08_homlift"));
+obs_json_test!(e09, "e09_oi_to_po", env!("CARGO_BIN_EXE_e09_oi_to_po"));
+obs_json_test!(e10, "e10_ramsey", env!("CARGO_BIN_EXE_e10_ramsey"));
+obs_json_test!(e11, "e11_eds", env!("CARGO_BIN_EXE_e11_eds"));
+obs_json_test!(e12, "e12_claims_table", env!("CARGO_BIN_EXE_e12_claims_table"));
+obs_json_test!(e13, "e13_growth", env!("CARGO_BIN_EXE_e13_growth"));
+obs_json_test!(e14, "e14_po_vs_pn", env!("CARGO_BIN_EXE_e14_po_vs_pn"));

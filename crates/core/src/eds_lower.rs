@@ -33,6 +33,7 @@ use locap_graph::factor::two_factor_labeling;
 use locap_graph::{Edge, Graph, LDigraph};
 use locap_lifts::{connect_copies, ViewCache};
 use locap_num::Ratio;
+use locap_obs as obs;
 use locap_problems::edge_dominating_set;
 
 use crate::CoreError;
@@ -145,6 +146,7 @@ pub struct LowerBoundReport {
 /// Fails if the instance is not PO-symmetric or no symmetric solution is
 /// feasible.
 pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreError> {
+    let _span = obs::span("eds_lower/report");
     let d = &inst.digraph;
     let n = d.node_count();
     if !d.is_label_complete() {
@@ -155,36 +157,44 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
     // symmetry: all views isomorphic (label-completeness forces this at
     // every radius; we re-check r = 1, 2 by exact census). One shared
     // ViewCache: the radius-2 refinement reuses the radius-1 levels.
-    let mut cache = ViewCache::new(d);
-    for r in 1..=2 {
-        let census = cache.census(r);
-        if census.len() != 1 {
-            return Err(CoreError::VerificationFailed {
-                property: format!("{} view classes at radius {r}", census.len()),
-            });
+    {
+        let _span = obs::span("census");
+        let mut cache = ViewCache::new(d);
+        for r in 1..=2 {
+            let census = cache.census(r);
+            if census.len() != 1 {
+                return Err(CoreError::VerificationFailed {
+                    property: format!("{} view classes at radius {r}", census.len()),
+                });
+            }
         }
     }
     let und = d.underlying().map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
 
     // symmetric solutions: unions of label classes
-    let k = d.alphabet_size();
-    let mut best: Option<usize> = None;
-    for mask in 1u32..(1 << k) {
-        let chosen: BTreeSet<Edge> = d
-            .edges()
-            .filter(|e| mask & (1 << e.label) != 0)
-            .map(|e| Edge::new(e.from, e.to))
-            .collect();
-        if edge_dominating_set::feasible(&und, &chosen) {
-            best = Some(best.map_or(chosen.len(), |b: usize| b.min(chosen.len())));
+    let min_symmetric = {
+        let _span = obs::span("symmetric_enum");
+        let k = d.alphabet_size();
+        let mut best: Option<usize> = None;
+        for mask in 1u32..(1 << k) {
+            let chosen: BTreeSet<Edge> = d
+                .edges()
+                .filter(|e| mask & (1 << e.label) != 0)
+                .map(|e| Edge::new(e.from, e.to))
+                .collect();
+            if edge_dominating_set::feasible(&und, &chosen) {
+                best = Some(best.map_or(chosen.len(), |b: usize| b.min(chosen.len())));
+            }
         }
-    }
-    let min_symmetric = best.ok_or(CoreError::VerificationFailed {
-        property: "no symmetric solution is feasible".into(),
-    })?;
+        best.ok_or(CoreError::VerificationFailed {
+            property: "no symmetric solution is feasible".into(),
+        })?
+    };
 
+    let opt_span = obs::span("opt_solve");
     let opt_set = edge_dominating_set::solve_exact(&und);
     let opt = opt_set.len();
+    drop(opt_span);
     let ratio = Ratio::new(min_symmetric as i128, opt as i128)
         .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
 

@@ -36,10 +36,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::GeneratorSearchFailed { k, girth_bound, detail } => write!(
-                f,
-                "no {k}-generator set with girth > {girth_bound} found: {detail}"
-            ),
+            CoreError::GeneratorSearchFailed { k, girth_bound, detail } => {
+                write!(f, "no {k}-generator set with girth > {girth_bound} found: {detail}")
+            }
             CoreError::TooLarge { reason } => write!(f, "construction too large: {reason}"),
             CoreError::VerificationFailed { property } => {
                 write!(f, "verification failed: {property}")

@@ -20,6 +20,7 @@ use locap_graph::LDigraph;
 use locap_groups::{Group, IterGroup};
 use locap_lifts::{view, CoveringMap, Letter, Word};
 use locap_num::Ratio;
+use locap_obs as obs;
 
 use crate::homogeneous::HomogeneousGraph;
 use crate::CoreError;
@@ -71,6 +72,7 @@ pub fn eval_word(u: &IterGroup, gens: &[Vec<i64>], w: &Word) -> Vec<i64> {
 ///
 /// Fails if the alphabets disagree or the verified properties do not hold.
 pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<HomogeneousLift, CoreError> {
+    let _span = obs::span("hom_lift/lift");
     if g.alphabet_size() != h.digraph.alphabet_size() {
         return Err(CoreError::BadParameters {
             reason: format!(
@@ -86,9 +88,8 @@ pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<Homogeneou
 
     // ϕ_G((a, b)) = b; a covering map because H is label-complete.
     let phi = CoveringMap::new((0..nh * ng).map(|x| x % ng).collect());
-    phi.verify(&lift, g).map_err(|e| CoreError::VerificationFailed {
-        property: format!("covering map: {e}"),
-    })?;
+    phi.verify(&lift, g)
+        .map_err(|e| CoreError::VerificationFailed { property: format!("covering map: {e}") })?;
 
     // order: pull back H's order along ϕ_H((a, b)) = a and complete by the
     // G index (fibres of ϕ_H are incomparable in <_p; any completion works
@@ -103,9 +104,7 @@ pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<Homogeneou
     // good vertices: fibres (under ϕ_H) of τ*-typed H vertices
     let und_h = h.digraph.underlying_simple();
     let good_h: Vec<bool> = (0..nh)
-        .map(|a| {
-            ordered_lnbhd_in(&h.digraph, &und_h, &h.rank, a, h.radius) == h.tau_star
-        })
+        .map(|a| ordered_lnbhd_in(&h.digraph, &und_h, &h.rank, a, h.radius) == h.tau_star)
         .collect();
     let good: Vec<bool> = (0..nh * ng).map(|x| good_h[x / ng]).collect();
 
@@ -114,11 +113,8 @@ pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<Homogeneou
     Ok(out)
 }
 
-fn verify_lift(
-    c: &HomogeneousLift,
-    _g: &LDigraph,
-    h: &HomogeneousGraph,
-) -> Result<(), CoreError> {
+fn verify_lift(c: &HomogeneousLift, _g: &LDigraph, h: &HomogeneousGraph) -> Result<(), CoreError> {
+    let _span = obs::span("verify");
     // girth inherited from H (check near one good vertex and node 0; the
     // product need not be vertex-transitive, so spot-check a sample)
     let und = c.lift.underlying_simple();
@@ -224,10 +220,7 @@ mod tests {
     fn lift_alphabet_mismatch_rejected() {
         let g = locap_graph::product::toroidal(2, 4); // |L| = 2
         let h = construct(1, 1, 6).unwrap(); // |L| = 1
-        assert!(matches!(
-            homogeneous_lift(&g, &h),
-            Err(CoreError::BadParameters { .. })
-        ));
+        assert!(matches!(homogeneous_lift(&g, &h), Err(CoreError::BadParameters { .. })));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use locap_graph::canon::{ordered_lnbhd_fast, NbhdScratch, OrderedLNbhd};
 use locap_graph::LDigraph;
 use locap_groups::{cayley, Group, IterGroup};
 use locap_num::Ratio;
+use locap_obs as obs;
 
 use crate::CoreError;
 
@@ -176,6 +177,7 @@ fn census_count(
     r: usize,
     tau: &OrderedLNbhd,
 ) -> usize {
+    let _span = obs::span("census_count");
     let n = d.node_count();
     let count_range = |lo: usize, hi: usize| {
         let mut scratch = NbhdScratch::new();
@@ -213,6 +215,7 @@ pub fn find_generators(
     k: usize,
     r: usize,
 ) -> Result<(IterGroup, Vec<Vec<i64>>, LDigraph), CoreError> {
+    let _span = obs::span("find_generators");
     let h = IterGroup::finite(level, m)
         .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
     let order = h.order().expect("finite group");
@@ -247,6 +250,7 @@ pub fn find_generators(
                 detail: format!("level {level}, m {m}: budget of {MAX_ATTEMPTS} subsets exhausted"),
             });
         }
+        obs::counter("homogeneous/generator_attempts").inc();
         let gens: Vec<Vec<i64>> = idx.iter().map(|&i| candidates[i].clone()).collect();
         match cayley(&h, &gens) {
             Ok(d) => {
@@ -314,6 +318,7 @@ pub fn construct_at_level(
     r: usize,
     m: u64,
 ) -> Result<HomogeneousGraph, CoreError> {
+    let _span = obs::span("homogeneous/construct");
     let (h, gens, digraph) = find_generators(level, m, k, r)?;
     let n = digraph.node_count();
 
@@ -352,7 +357,11 @@ pub fn construct_at_level(
 /// # Errors
 ///
 /// Fails when the required `m` makes the group too large.
-pub fn construct_for_epsilon(k: usize, r: usize, eps: Ratio) -> Result<HomogeneousGraph, CoreError> {
+pub fn construct_for_epsilon(
+    k: usize,
+    r: usize,
+    eps: Ratio,
+) -> Result<HomogeneousGraph, CoreError> {
     if eps <= Ratio::ZERO || eps > Ratio::ONE {
         return Err(CoreError::BadParameters { reason: format!("eps {eps} out of (0, 1]") });
     }
@@ -472,9 +481,6 @@ mod tests {
     #[test]
     fn too_large_detected() {
         // level 3 (d = 7) with m = 44 would be 44^7 ≈ 3·10^11 nodes
-        assert!(matches!(
-            find_generators(3, 44, 1, 1),
-            Err(CoreError::TooLarge { .. })
-        ));
+        assert!(matches!(find_generators(3, 44, 1, 1), Err(CoreError::TooLarge { .. })));
     }
 }

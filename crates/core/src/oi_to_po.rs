@@ -24,6 +24,7 @@ use locap_graph::canon::OrderedNbhd;
 use locap_groups::IterGroup;
 use locap_lifts::{Letter, ViewTree, Word};
 use locap_models::{OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm, PoVertexAlgorithm};
+use locap_obs as obs;
 
 use crate::hom_lift::eval_word;
 use crate::homogeneous::HomogeneousGraph;
@@ -63,6 +64,8 @@ impl<A> PoFromOi<A> {
     /// Orders the walks of a view by `<*` and returns
     /// `(sorted words, the ordered neighbourhood (T*, <*, λ) ↾ W)`.
     pub fn ordered_restriction(&self, view: &ViewTree) -> (Vec<Word>, OrderedNbhd) {
+        let _span = obs::span("oi_to_po/simulate");
+        obs::counter("oi_to_po/restrictions").inc();
         let mut words = view.words();
         // order by (U element under the cone order, then the word itself)
         words.sort_by(|a, b| {
@@ -130,11 +133,7 @@ impl<A: OiEdgeAlgorithm> PoEdgeAlgorithm for PoFromOiEdge<A> {
             .map(|(i, w)| (i, w.letters()[0]))
             .collect();
         letter_positions.sort_by_key(|&(i, _)| i);
-        assert_eq!(
-            bits.len(),
-            letter_positions.len(),
-            "OI edge output must match the root degree"
-        );
+        assert_eq!(bits.len(), letter_positions.len(), "OI edge output must match the root degree");
         letter_positions
             .into_iter()
             .zip(bits)
@@ -208,8 +207,7 @@ mod tests {
                 1
             }
             fn evaluate(&self, t: &OrderedNbhd) -> Vec<bool> {
-                let deg =
-                    t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
+                let deg = t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
                 let mut bits = vec![false; deg];
                 if deg > 0 {
                     bits[0] = true;
@@ -224,8 +222,7 @@ mod tests {
         // neighbours: a (successor, cone-positive) and a⁻¹ (predecessor,
         // cone-negative): smallest is a⁻¹ — the incoming edge.
         assert_eq!(out.len(), 2);
-        let selected: Vec<Letter> =
-            out.iter().filter(|(_, b)| *b).map(|(l, _)| *l).collect();
+        let selected: Vec<Letter> = out.iter().filter(|(_, b)| *b).map(|(l, _)| *l).collect();
         assert_eq!(selected, vec![Letter::neg(0)]);
     }
 }

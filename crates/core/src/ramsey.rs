@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 
 use locap_graph::canon::{IdNbhd, OrderedNbhd};
 use locap_models::{IdVertexAlgorithm, OiVertexAlgorithm};
+use locap_obs as obs;
 
 use crate::CoreError;
 
@@ -41,6 +42,7 @@ where
     C: Eq + Clone,
     F: FnMut(&[u64]) -> C,
 {
+    let _span = obs::span("ramsey/monochromatic_subset");
     if m < t || universe.len() < m {
         return None;
     }
@@ -177,11 +179,7 @@ impl<A: IdVertexAlgorithm> OiVertexAlgorithm for OiFromId<A> {
             "identifier pool too small: ball has {n} nodes, pool {}",
             self.pool.len()
         );
-        let nbhd = IdNbhd {
-            ids: self.pool[..n].to_vec(),
-            root: t.root,
-            edges: t.edges.clone(),
-        };
+        let nbhd = IdNbhd { ids: self.pool[..n].to_vec(), root: t.root, edges: t.edges.clone() };
         self.id_algo.evaluate(&nbhd)
     }
 }
@@ -212,6 +210,7 @@ pub fn ramsey_cycle_transfer<A>(
 where
     A: IdVertexAlgorithm + Clone,
 {
+    let _span = obs::span("ramsey/cycle_transfer");
     let t = 2 * r + 1;
     let algo_ref = algo.clone();
     let mut color = move |s: &[u64]| cycle_tstar_color(&algo_ref, s);

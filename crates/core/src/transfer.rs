@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 use locap_graph::{Graph, LDigraph};
 use locap_models::{run, OiVertexAlgorithm};
 use locap_num::Ratio;
+use locap_obs as obs;
 use locap_problems::{approx_ratio, Goal};
 
 use crate::hom_lift::{homogeneous_lift, HomogeneousLift};
@@ -63,6 +64,7 @@ pub fn transfer_vertex<A>(
 where
     A: OiVertexAlgorithm + Clone,
 {
+    let _span = obs::span("transfer/vertex");
     let lift = homogeneous_lift(g, h)?;
     let b = PoFromOi::from_homogeneous(oi.clone(), h);
 
@@ -144,6 +146,7 @@ where
 {
     use crate::oi_to_po::PoFromOiEdge;
 
+    let _span = obs::span("transfer/edge");
     let lift = homogeneous_lift(g, h)?;
     let b = PoFromOiEdge::from_homogeneous(oi.clone(), h);
 
@@ -231,8 +234,7 @@ mod tests {
                 1
             }
             fn evaluate(&self, t: &OrderedNbhd) -> Vec<bool> {
-                let deg =
-                    t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
+                let deg = t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
                 vec![true; deg]
             }
         }

@@ -7,6 +7,7 @@
 //! per-iteration time as plain text, and emits a machine-readable
 //! `name\tmedian_ns\tmin_ns\titers` line per benchmark when
 //! `CRITERION_SHIM_TSV` is set — enough to seed `BENCH_*.json` trend files.
+//! `CRITERION_SHIM_SAMPLES=n` caps samples per benchmark (smoke runs).
 //!
 //! Scope: [`black_box`], [`Criterion`] with `benchmark_group` /
 //! `bench_function`, [`BenchmarkGroup`] with `sample_size`,
@@ -151,7 +152,20 @@ impl Bencher {
     }
 }
 
+/// Global sample-count override: `CRITERION_SHIM_SAMPLES=n` caps every
+/// benchmark at `n` samples (min 2), regardless of per-group settings.
+/// Used by the CI smoke job to run the regression gate in reduced-sample
+/// mode without touching the bench sources.
+fn sample_override() -> Option<usize> {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(2))
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let sample_size = sample_override().map_or(sample_size, |n| n.min(sample_size));
     let mut b = Bencher { samples: Vec::new(), sample_size };
     f(&mut b);
     if b.samples.is_empty() {

@@ -17,6 +17,7 @@
 //! encodings**, so no search is involved.
 
 use crate::{Graph, LDigraph, NodeId};
+use locap_obs as obs;
 
 /// Canonical form of an *ordered* radius-`r` neighbourhood τ(G, <, v) of an
 /// undirected graph.
@@ -168,10 +169,7 @@ impl IdNbhd {
 pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
     let mut ball = g.ball_local(v, r);
     ball.sort_by_key(|&u| ids[u]);
-    debug_assert!(
-        ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]),
-        "identifiers must be unique"
-    );
+    debug_assert!(ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]), "identifiers must be unique");
     let root = ball.iter().position(|&x| x == v).expect("centre is in its ball") as u32;
     let mut edges = Vec::new();
     for (i, &a) in ball.iter().enumerate() {
@@ -351,17 +349,23 @@ pub fn ordered_lnbhd_fast(
 /// Fans per-vertex canonical-form extraction over `std::thread::scope`
 /// workers, each with its own [`NbhdScratch`]; falls back to one thread on
 /// small inputs. Output is in vertex order regardless of thread count.
-fn per_vertex_types<T, F>(n: usize, f: F) -> Vec<T>
+/// `name` tags the run in the observability registry (a `census/<name>`
+/// span plus vertex/worker metrics).
+fn per_vertex_types<T, F>(name: &str, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut NbhdScratch, NodeId) -> T + Sync,
 {
     const PARALLEL_MIN_NODES: usize = 1 << 10;
+    let _span = obs::span(&format!("census/{name}"));
+    obs::counter("census/vertices").add(n as u64);
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     if workers <= 1 || n < PARALLEL_MIN_NODES {
+        obs::gauge("census/workers").set(1);
         let mut scratch = NbhdScratch::new();
         return (0..n).map(|v| f(&mut scratch, v)).collect();
     }
+    obs::gauge("census/workers").set(workers as i64);
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -405,31 +409,23 @@ fn sorted_census<T: Ord + std::hash::Hash>(types: Vec<T>) -> Vec<(T, usize)> {
 /// on scoped worker threads. [`ordered_type_census_naive`] is the
 /// reference implementation.
 pub fn ordered_type_census(g: &Graph, rank: &[usize], r: usize) -> Vec<(OrderedNbhd, usize)> {
-    sorted_census(per_vertex_types(g.node_count(), |scratch, v| {
+    sorted_census(per_vertex_types("ordered", g.node_count(), |scratch, v| {
         ordered_nbhd_fast(g, rank, v, r, scratch)
     }))
 }
 
 /// The reference (sequential, allocation-per-call) implementation of
 /// [`ordered_type_census`]; kept as the differential-testing oracle.
-pub fn ordered_type_census_naive(
-    g: &Graph,
-    rank: &[usize],
-    r: usize,
-) -> Vec<(OrderedNbhd, usize)> {
+pub fn ordered_type_census_naive(g: &Graph, rank: &[usize], r: usize) -> Vec<(OrderedNbhd, usize)> {
     sorted_census(g.nodes().map(|v| ordered_nbhd(g, rank, v, r)).collect())
 }
 
 /// Like [`ordered_type_census`] but for L-digraphs (directed, labelled).
 /// Engine-backed like its undirected counterpart;
 /// [`ordered_ltype_census_naive`] is the reference implementation.
-pub fn ordered_ltype_census(
-    d: &LDigraph,
-    rank: &[usize],
-    r: usize,
-) -> Vec<(OrderedLNbhd, usize)> {
+pub fn ordered_ltype_census(d: &LDigraph, rank: &[usize], r: usize) -> Vec<(OrderedLNbhd, usize)> {
     let und = d.underlying_simple();
-    sorted_census(per_vertex_types(d.node_count(), |scratch, v| {
+    sorted_census(per_vertex_types("ordered_l", d.node_count(), |scratch, v| {
         ordered_lnbhd_fast(d, &und, rank, v, r, scratch)
     }))
 }

@@ -53,11 +53,7 @@ pub struct LDigraph {
 impl LDigraph {
     /// Creates an edgeless L-digraph on `n` nodes with alphabet `0..labels`.
     pub fn new(n: usize, labels: usize) -> LDigraph {
-        LDigraph {
-            labels,
-            out: vec![vec![None; labels]; n],
-            inn: vec![vec![None; labels]; n],
-        }
+        LDigraph { labels, out: vec![vec![None; labels]; n], inn: vec![vec![None; labels]; n] }
     }
 
     /// Number of nodes.

@@ -105,13 +105,15 @@ impl Orientation {
 
     /// Iterates over all directed pairs `(tail, head)`.
     pub fn directed_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.edges.iter().zip(&self.head_is_larger).map(|(&e, &fwd)| {
-            if fwd {
-                (e.u, e.v)
-            } else {
-                (e.v, e.u)
-            }
-        })
+        self.edges.iter().zip(&self.head_is_larger).map(
+            |(&e, &fwd)| {
+                if fwd {
+                    (e.u, e.v)
+                } else {
+                    (e.v, e.u)
+                }
+            },
+        )
     }
 
     /// Number of edges oriented.

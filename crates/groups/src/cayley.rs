@@ -144,18 +144,12 @@ mod tests {
     fn generator_validation() {
         let g = Cyclic::new(8);
         let els: Vec<u64> = g.elements().collect();
-        assert!(matches!(
-            cayley_indexed(&g, &els, &[0]),
-            Err(GroupError::BadGenerators { .. })
-        ));
+        assert!(matches!(cayley_indexed(&g, &els, &[0]), Err(GroupError::BadGenerators { .. })));
         assert!(matches!(
             cayley_indexed(&g, &els, &[4]), // involution: 4+4=0
             Err(GroupError::BadGenerators { .. })
         ));
-        assert!(matches!(
-            cayley_indexed(&g, &els, &[1, 1]),
-            Err(GroupError::BadGenerators { .. })
-        ));
+        assert!(matches!(cayley_indexed(&g, &els, &[1, 1]), Err(GroupError::BadGenerators { .. })));
         assert!(matches!(
             cayley_indexed(&g, &els, &[3, 5]), // 5 = -3
             Err(GroupError::BadGenerators { .. })
@@ -201,19 +195,13 @@ mod tests {
     fn cayley_indexed_detects_unclosed_list() {
         let g = Cyclic::new(10);
         let els: Vec<u64> = (0..5).collect(); // not closed under +1 at 4 -> 5
-        assert!(matches!(
-            cayley_indexed(&g, &els, &[1]),
-            Err(GroupError::BadParameters { .. })
-        ));
+        assert!(matches!(cayley_indexed(&g, &els, &[1]), Err(GroupError::BadParameters { .. })));
     }
 
     #[test]
     fn cayley_indexed_detects_duplicates() {
         let g = Cyclic::new(4);
         let els = vec![0u64, 1, 2, 2];
-        assert!(matches!(
-            cayley_indexed(&g, &els, &[1]),
-            Err(GroupError::BadParameters { .. })
-        ));
+        assert!(matches!(cayley_indexed(&g, &els, &[1]), Err(GroupError::BadParameters { .. })));
     }
 }

@@ -101,11 +101,8 @@ impl IterGroup {
         let h = (d - 1) / 2;
         let c = a[d - 1];
         // c acts on (b_x, b_y) by swapping when odd.
-        let (bx, by) = if c.rem_euclid(2) == 1 {
-            (&b[h..2 * h], &b[..h])
-        } else {
-            (&b[..h], &b[h..2 * h])
-        };
+        let (bx, by) =
+            if c.rem_euclid(2) == 1 { (&b[h..2 * h], &b[..h]) } else { (&b[..h], &b[h..2 * h]) };
         let (out_xy, out_c) = out.split_at_mut(d - 1);
         let (ox, oy) = out_xy.split_at_mut(h);
         self.op_rec(&a[..h], bx, ox);

@@ -67,7 +67,8 @@ mod tests {
     fn display() {
         assert!(LiftError::WrongDomain { expected: 4, actual: 2 }.to_string().contains("4"));
         assert!(LiftError::NotOnto { uncovered: 3 }.to_string().contains("3"));
-        let e: Box<dyn std::error::Error> = Box::new(LiftError::BadParameters { reason: "l=0".into() });
+        let e: Box<dyn std::error::Error> =
+            Box::new(LiftError::BadParameters { reason: "l=0".into() });
         assert!(e.to_string().contains("l=0"));
     }
 }

@@ -53,5 +53,7 @@ pub use cover::{
     CoveringMap,
 };
 pub use error::LiftError;
-pub use view::{view, view_census, view_census_naive, ViewCache, ViewCacheStats, ViewNode, ViewTree};
+pub use view::{
+    view, view_census, view_census_naive, ViewCache, ViewCacheStats, ViewNode, ViewTree,
+};
 pub use word::{Letter, Word};

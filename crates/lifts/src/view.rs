@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use locap_graph::{LDigraph, NodeId};
+use locap_obs as obs;
 
 use crate::{Letter, Word};
 
@@ -236,6 +237,12 @@ pub struct ViewCache<'g> {
     /// Memoized materialisations per (level, class).
     trees: Vec<Vec<Option<ViewNode>>>,
     stats: ViewCacheStats,
+    /// Registry handles mirroring `stats` (hoisted: one lookup per cache).
+    obs_tree_hits: obs::Counter,
+    obs_tree_misses: obs::Counter,
+    obs_states: obs::Counter,
+    obs_classes: obs::Gauge,
+    obs_workers: obs::Gauge,
 }
 
 /// Threshold below which the refinement sweep stays sequential: the per
@@ -254,6 +261,11 @@ impl<'g> ViewCache<'g> {
             reps: Vec::new(),
             trees: Vec::new(),
             stats: ViewCacheStats { states, workers: 1, ..ViewCacheStats::default() },
+            obs_tree_hits: obs::counter("view_cache/tree_hits"),
+            obs_tree_misses: obs::counter("view_cache/tree_misses"),
+            obs_states: obs::counter("view_cache/states"),
+            obs_classes: obs::gauge("view_cache/classes"),
+            obs_workers: obs::gauge("view_cache/workers"),
         }
     }
 
@@ -284,8 +296,7 @@ impl<'g> ViewCache<'g> {
     /// Per-vertex root classes and the total class count at radius `r`.
     pub fn root_classes(&mut self, r: usize) -> (Vec<u32>, usize) {
         self.ensure_depth(r);
-        let classes =
-            (0..self.d.node_count()).map(|v| self.levels[r][v * self.width]).collect();
+        let classes = (0..self.d.node_count()).map(|v| self.levels[r][v * self.width]).collect();
         (classes, self.reps[r].len())
     }
 
@@ -299,16 +310,13 @@ impl<'g> ViewCache<'g> {
     /// The tree of a class returned by [`ViewCache::root_class`].
     pub fn class_view(&mut self, r: usize, class: u32) -> ViewTree {
         self.ensure_depth(r);
-        ViewTree {
-            root: self.materialize(r, class),
-            radius: r,
-            alphabet: self.d.alphabet_size(),
-        }
+        ViewTree { root: self.materialize(r, class), radius: r, alphabet: self.d.alphabet_size() }
     }
 
     /// The view census, bit-identical to [`view_census_naive`] but with
     /// one tree materialisation per class instead of per vertex.
     pub fn census(&mut self, r: usize) -> Vec<(ViewTree, usize)> {
+        let _span = obs::span("view_cache/census");
         let (classes, k) = self.root_classes(r);
         let mut counts = vec![0usize; k];
         for &c in &classes {
@@ -363,6 +371,8 @@ impl<'g> ViewCache<'g> {
     /// Builds refinement levels up to depth `r` (no-op if already built).
     fn ensure_depth(&mut self, r: usize) {
         let n_states = self.d.node_count() * self.width;
+        let _span =
+            if self.levels.len() <= r { Some(obs::span("view_cache/refine")) } else { None };
         while self.levels.len() <= r {
             let depth = self.levels.len();
             if depth == 0 {
@@ -389,6 +399,8 @@ impl<'g> ViewCache<'g> {
             self.trees.push(vec![None; k]);
             self.stats.classes.push(k);
             self.stats.depth = depth;
+            self.obs_states.add(n_states as u64);
+            self.obs_classes.set(k as i64);
         }
     }
 
@@ -400,6 +412,7 @@ impl<'g> ViewCache<'g> {
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
         if workers <= 1 || n_states < PARALLEL_MIN_STATES {
             self.stats.workers = 1;
+            self.obs_workers.set(1);
             let mut sig = Vec::new();
             return (0..n_states)
                 .map(|s| {
@@ -409,6 +422,7 @@ impl<'g> ViewCache<'g> {
                 .collect();
         }
         self.stats.workers = workers;
+        self.obs_workers.set(workers as i64);
         let chunk = n_states.div_ceil(workers);
         let this = &*self;
         std::thread::scope(|scope| {
@@ -441,9 +455,11 @@ impl<'g> ViewCache<'g> {
     fn materialize(&mut self, depth: usize, class: u32) -> ViewNode {
         if let Some(t) = &self.trees[depth][class as usize] {
             self.stats.tree_hits += 1;
+            self.obs_tree_hits.inc();
             return t.clone();
         }
         self.stats.tree_misses += 1;
+        self.obs_tree_misses.inc();
         let node = if depth == 0 {
             ViewNode::leaf()
         } else {

@@ -200,12 +200,8 @@ mod tests {
     #[test]
     fn paper_fig4_walk_names() {
         // Fig. 4c names walks like "ba⁻¹a⁻¹c"
-        let w = Word::from_letters([
-            Letter::pos(1),
-            Letter::neg(0),
-            Letter::neg(0),
-            Letter::pos(2),
-        ]);
+        let w =
+            Word::from_letters([Letter::pos(1), Letter::neg(0), Letter::neg(0), Letter::pos(2)]);
         assert_eq!(w.to_string(), "ba\u{207b}\u{00b9}a\u{207b}\u{00b9}c");
         assert_eq!(w.len(), 4);
     }

@@ -24,9 +24,14 @@
 //! Everything is bit-identical to the naive paths in [`crate::run`]
 //! (asserted by the `engine_differential` test suite); [`EngineStats`]
 //! exposes hit/miss/dedup counters so experiment binaries can print cache
-//! effectiveness.
+//! effectiveness. Every run also publishes into the global
+//! [`locap_obs`] registry (`engine/{po,oi,id}/…` counters, one
+//! `engine/<model>/run_vertex|run_edge` span per call), so binaries and
+//! the bench gate can export unified metrics without threading state.
 
 use std::collections::{BTreeSet, HashMap};
+
+use locap_obs as obs;
 
 use locap_graph::canon::{id_nbhd_fast, ordered_nbhd_fast, IdNbhd, NbhdScratch, OrderedNbhd};
 use locap_graph::{Edge, Graph, LDigraph, NodeId};
@@ -74,17 +79,55 @@ impl EngineStats {
     }
 }
 
+/// Registry handles shared by the three engines: one counter family per
+/// model under `engine/<model>/…`, hoisted at engine construction so run
+/// loops pay only atomic adds.
+#[derive(Debug, Clone)]
+struct EngineObs {
+    runs: obs::Counter,
+    vertices: obs::Counter,
+    evals: obs::Counter,
+    hits: obs::Counter,
+    classes: obs::Gauge,
+}
+
+impl EngineObs {
+    fn new(model: &str) -> EngineObs {
+        EngineObs {
+            runs: obs::counter(&format!("engine/{model}/runs")),
+            vertices: obs::counter(&format!("engine/{model}/vertices")),
+            evals: obs::counter(&format!("engine/{model}/evals")),
+            hits: obs::counter(&format!("engine/{model}/hits")),
+            classes: obs::gauge(&format!("engine/{model}/classes")),
+        }
+    }
+
+    /// Publishes the deltas of one run (classes is a level, not a total).
+    fn publish(&self, vertices: usize, classes: usize, evals: u64, hits: u64) {
+        self.runs.inc();
+        self.vertices.add(vertices as u64);
+        self.evals.add(evals);
+        self.hits.add(hits);
+        self.classes.set(classes as i64);
+    }
+}
+
 /// The PO-model engine: a per-graph cache of view classes with
 /// evaluate-once-per-class algorithm runs. See the module docs.
 pub struct ViewEngine<'g> {
     cache: ViewCache<'g>,
     run_stats: EngineStats,
+    obs: EngineObs,
 }
 
 impl<'g> ViewEngine<'g> {
     /// Creates an engine for `d`; all state is built lazily.
     pub fn new(d: &'g LDigraph) -> ViewEngine<'g> {
-        ViewEngine { cache: ViewCache::new(d), run_stats: EngineStats::default() }
+        ViewEngine {
+            cache: ViewCache::new(d),
+            run_stats: EngineStats::default(),
+            obs: EngineObs::new("po"),
+        }
     }
 
     /// The underlying refinement cache (classes, interning counters).
@@ -113,18 +156,20 @@ impl<'g> ViewEngine<'g> {
     /// broadcast to all vertices of the class. Bit-identical to
     /// [`crate::run::po_vertex_naive`].
     pub fn run_vertex<A: PoVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let _span = obs::span("engine/po/run_vertex");
         let r = algo.radius();
         let (classes, k) = self.cache.root_classes(r);
         let mut outputs: Vec<Option<bool>> = vec![None; k];
         let mut out = Vec::with_capacity(classes.len());
+        let (mut evals, mut hits) = (0u64, 0u64);
         for &c in &classes {
             let bit = match outputs[c as usize] {
                 Some(b) => {
-                    self.run_stats.hits += 1;
+                    hits += 1;
                     b
                 }
                 None => {
-                    self.run_stats.evals += 1;
+                    evals += 1;
                     let b = algo.evaluate(&self.cache.class_view(r, c));
                     outputs[c as usize] = Some(b);
                     b
@@ -133,9 +178,12 @@ impl<'g> ViewEngine<'g> {
             out.push(bit);
         }
         self.run_stats.vertices += classes.len();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         // distinct *root* classes actually seen (k also counts non-root
         // walk states, which never reach the algorithm)
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
+        self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
         let _ = k;
         out
     }
@@ -144,17 +192,19 @@ impl<'g> ViewEngine<'g> {
     /// same per-vertex letter-to-edge assembly (and panic on absent
     /// letters) as [`crate::run::po_edge_naive`].
     pub fn run_edge<A: PoEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let _span = obs::span("engine/po/run_edge");
         let d = self.cache.digraph();
         let r = algo.radius();
         let (classes, k) = self.cache.root_classes(r);
         let mut outputs: Vec<Option<Vec<(locap_lifts::Letter, bool)>>> = vec![None; k];
         let mut out = BTreeSet::new();
+        let (mut evals, mut hits) = (0u64, 0u64);
         for (v, &c) in classes.iter().enumerate() {
             if outputs[c as usize].is_none() {
-                self.run_stats.evals += 1;
+                evals += 1;
                 outputs[c as usize] = Some(algo.evaluate(&self.cache.class_view(r, c)));
             } else {
-                self.run_stats.hits += 1;
+                hits += 1;
             }
             let bits = outputs[c as usize].as_ref().expect("just filled");
             for &(letter, selected) in bits {
@@ -173,7 +223,10 @@ impl<'g> ViewEngine<'g> {
             }
         }
         self.run_stats.vertices += classes.len();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
+        self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
         let _ = k;
         out
     }
@@ -187,12 +240,19 @@ pub struct OiEngine<'g> {
     rank: &'g [usize],
     scratch: NbhdScratch,
     run_stats: EngineStats,
+    obs: EngineObs,
 }
 
 impl<'g> OiEngine<'g> {
     /// Creates an engine for `(g, rank)`.
     pub fn new(g: &'g Graph, rank: &'g [usize]) -> OiEngine<'g> {
-        OiEngine { g, rank, scratch: NbhdScratch::new(), run_stats: EngineStats::default() }
+        OiEngine {
+            g,
+            rank,
+            scratch: NbhdScratch::new(),
+            run_stats: EngineStats::default(),
+            obs: EngineObs::new("oi"),
+        }
     }
 
     /// Counters of the runs executed so far.
@@ -209,18 +269,20 @@ impl<'g> OiEngine<'g> {
     /// Runs an OI vertex algorithm, evaluating once per distinct type.
     /// Bit-identical to [`crate::run::oi_vertex_naive`].
     pub fn run_vertex<A: OiVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let _span = obs::span("engine/oi/run_vertex");
         let r = algo.radius();
         let mut memo: HashMap<OrderedNbhd, bool> = HashMap::new();
+        let (mut evals, mut hits) = (0u64, 0u64);
         let out: Vec<bool> = (0..self.g.node_count())
             .map(|v| {
                 let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
                 match memo.get(&t) {
                     Some(&b) => {
-                        self.run_stats.hits += 1;
+                        hits += 1;
                         b
                     }
                     None => {
-                        self.run_stats.evals += 1;
+                        evals += 1;
                         let b = algo.evaluate(&t);
                         memo.insert(t, b);
                         b
@@ -229,7 +291,10 @@ impl<'g> OiEngine<'g> {
             })
             .collect();
         self.run_stats.vertices += self.g.node_count();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
+        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
         out
     }
 
@@ -237,18 +302,20 @@ impl<'g> OiEngine<'g> {
     /// per-vertex assembly (degree assertion included) matches
     /// [`crate::run::oi_edge_naive`].
     pub fn run_edge<A: OiEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let _span = obs::span("engine/oi/run_edge");
         let r = algo.radius();
         let mut memo: HashMap<OrderedNbhd, Vec<bool>> = HashMap::new();
         let mut out = BTreeSet::new();
+        let (mut evals, mut hits) = (0u64, 0u64);
         for v in self.g.nodes() {
             let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
             let bits = match memo.get(&t) {
                 Some(b) => {
-                    self.run_stats.hits += 1;
+                    hits += 1;
                     b.clone()
                 }
                 None => {
-                    self.run_stats.evals += 1;
+                    evals += 1;
                     let b = algo.evaluate(&t);
                     memo.insert(t, b.clone());
                     b
@@ -264,7 +331,10 @@ impl<'g> OiEngine<'g> {
             }
         }
         self.run_stats.vertices += self.g.node_count();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
+        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
         out
     }
 }
@@ -279,12 +349,19 @@ pub struct IdEngine<'g> {
     ids: &'g [u64],
     scratch: NbhdScratch,
     run_stats: EngineStats,
+    obs: EngineObs,
 }
 
 impl<'g> IdEngine<'g> {
     /// Creates an engine for `(g, ids)`.
     pub fn new(g: &'g Graph, ids: &'g [u64]) -> IdEngine<'g> {
-        IdEngine { g, ids, scratch: NbhdScratch::new(), run_stats: EngineStats::default() }
+        IdEngine {
+            g,
+            ids,
+            scratch: NbhdScratch::new(),
+            run_stats: EngineStats::default(),
+            obs: EngineObs::new("id"),
+        }
     }
 
     /// Counters of the runs executed so far.
@@ -301,18 +378,20 @@ impl<'g> IdEngine<'g> {
     /// Runs an ID vertex algorithm, evaluating once per distinct
     /// neighbourhood. Bit-identical to [`crate::run::id_vertex_naive`].
     pub fn run_vertex<A: IdVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+        let _span = obs::span("engine/id/run_vertex");
         let r = algo.radius();
         let mut memo: HashMap<IdNbhd, bool> = HashMap::new();
+        let (mut evals, mut hits) = (0u64, 0u64);
         let out: Vec<bool> = (0..self.g.node_count())
             .map(|v| {
                 let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
                 match memo.get(&t) {
                     Some(&b) => {
-                        self.run_stats.hits += 1;
+                        hits += 1;
                         b
                     }
                     None => {
-                        self.run_stats.evals += 1;
+                        evals += 1;
                         let b = algo.evaluate(&t);
                         memo.insert(t, b);
                         b
@@ -321,25 +400,30 @@ impl<'g> IdEngine<'g> {
             })
             .collect();
         self.run_stats.vertices += self.g.node_count();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
+        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
         out
     }
 
     /// Runs an ID edge algorithm; assembly matches
     /// [`crate::run::id_edge_naive`].
     pub fn run_edge<A: IdEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+        let _span = obs::span("engine/id/run_edge");
         let r = algo.radius();
         let mut memo: HashMap<IdNbhd, Vec<bool>> = HashMap::new();
         let mut out = BTreeSet::new();
+        let (mut evals, mut hits) = (0u64, 0u64);
         for v in self.g.nodes() {
             let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
             let bits = match memo.get(&t) {
                 Some(b) => {
-                    self.run_stats.hits += 1;
+                    hits += 1;
                     b.clone()
                 }
                 None => {
-                    self.run_stats.evals += 1;
+                    evals += 1;
                     let b = algo.evaluate(&t);
                     memo.insert(t, b.clone());
                     b
@@ -355,7 +439,10 @@ impl<'g> IdEngine<'g> {
             }
         }
         self.run_stats.vertices += self.g.node_count();
+        self.run_stats.evals += evals;
+        self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
+        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
         out
     }
 }

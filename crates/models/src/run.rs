@@ -46,7 +46,9 @@ pub fn oi_vertex<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> V
 /// The reference (per-vertex, no sharing) implementation of
 /// [`oi_vertex`]; kept as the differential-testing oracle.
 pub fn oi_vertex_naive<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> Vec<bool> {
-    g.nodes().map(|v| algo.evaluate(&ordered_nbhd(g, rank, v, algo.radius()))).collect()
+    g.nodes()
+        .map(|v| algo.evaluate(&ordered_nbhd(g, rank, v, algo.radius())))
+        .collect()
 }
 
 /// Runs a PO vertex algorithm on an L-digraph; returns one bit per node.
@@ -173,9 +175,8 @@ pub fn po_edge_naive<A: PoEdgeAlgorithm>(d: &LDigraph, algo: &A) -> BTreeSet<Edg
             } else {
                 d.out_neighbor(v, letter.label)
             };
-            let u = target.unwrap_or_else(|| {
-                panic!("algorithm selected absent letter {letter} at node {v}")
-            });
+            let u = target
+                .unwrap_or_else(|| panic!("algorithm selected absent letter {letter} at node {v}"));
             out.insert(Edge::new(v, u));
         }
     }
@@ -345,11 +346,7 @@ mod tests {
                 1
             }
             fn evaluate(&self, t: &OrderedNbhd) -> Vec<bool> {
-                let deg = t
-                    .edges
-                    .iter()
-                    .filter(|&&(i, j)| i == t.root || j == t.root)
-                    .count();
+                let deg = t.edges.iter().filter(|&&(i, j)| i == t.root || j == t.root).count();
                 let mut bits = vec![false; deg];
                 if deg > 0 {
                     bits[0] = true;

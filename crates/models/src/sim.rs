@@ -235,13 +235,7 @@ mod tests {
             fn init(&self, ctx: &NodeCtx) -> usize {
                 ctx.port_out.as_ref().expect("PO run").iter().filter(|&&b| b).count()
             }
-            fn round(
-                &self,
-                s: usize,
-                _: usize,
-                _: &[Option<()>],
-                _: &mut [Option<()>],
-            ) -> usize {
+            fn round(&self, s: usize, _: usize, _: &[Option<()>], _: &mut [Option<()>]) -> usize {
                 s
             }
             fn halted(&self, _: &usize) -> bool {

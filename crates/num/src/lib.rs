@@ -360,10 +360,7 @@ mod tests {
     #[test]
     fn zero_denominator_rejected() {
         assert_eq!(Ratio::new(1, 0), Err(NumError::DivisionByZero));
-        assert_eq!(
-            Ratio::ONE.div(Ratio::ZERO),
-            Err(NumError::DivisionByZero)
-        );
+        assert_eq!(Ratio::ONE.div(Ratio::ZERO), Err(NumError::DivisionByZero));
     }
 
     #[test]

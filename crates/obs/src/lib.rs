@@ -1,0 +1,572 @@
+//! `locap-obs` — the workspace's observability layer.
+//!
+//! Every hot path in the workspace (the memoized view/neighbourhood
+//! engines, the census sweeps, the core pipelines) reports into one
+//! process-global [`Registry`] of named metrics:
+//!
+//! * **counters** — monotone `u64` totals (`engine/po/evals`), safe to
+//!   bump from any thread, including the `std::thread::scope` workers the
+//!   engines fan out to;
+//! * **gauges** — last-write-wins `i64` levels (`view_cache/workers`);
+//! * **spans** — RAII scoped timers ([`span`]) whose durations aggregate
+//!   into log₂-bucketed histograms. Spans nest per thread: a span opened
+//!   while another is active records under `parent/child`, so
+//!   `obs::span("oi_to_po")` + inner `obs::span("simulate")` yields
+//!   `oi_to_po/simulate`. Worker threads start a fresh path and typically
+//!   open fully-qualified spans.
+//!
+//! Everything is exportable as machine-readable text with a stable
+//! schema shared with the checked-in `BENCH_views.json` baseline:
+//! [`Snapshot::to_json`] emits a single line of JSON whose `results` rows
+//! carry the same `bench`/`name`/`median_ns`/`min_ns`/`samples` fields the
+//! bench gate compares, and [`Snapshot::to_tsv`] emits one tab-separated
+//! row per metric. [`validate_bench_schema`] checks either document shape.
+//!
+//! The layer is dependency-free (std only) and always on; per-event cost
+//! is an atomic add once handles are held, and a mutex-guarded name lookup
+//! when they are not. Hot loops should hoist handles ([`counter`] returns
+//! a cheap clone) — the workspace's instrumentation points all sit at run
+//! boundaries, not inner loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use json::Json;
+
+/// Number of log₂ buckets in a histogram (covers 1 ns .. u64::MAX ns).
+pub const HIST_BUCKETS: usize = 64;
+
+/// The schema version emitted by exporters and expected in baselines.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// A monotone counter handle; cloning shares the same underlying value.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins level handle; cloning shares the underlying value.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to the maximum of its current value and `v`.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed duration histogram with exact count/sum/min/max.
+///
+/// Bucket 0 holds zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i−1), 2^i)` nanoseconds (the last bucket is open-ended).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [(); HIST_BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `64 − leading_zeros`,
+/// capped to the last bucket.
+pub fn bucket_index(value_ns: u64) -> usize {
+    if value_ns == 0 {
+        0
+    } else {
+        (64 - value_ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The (inclusive) upper bound of a bucket.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.min.fetch_min(value_ns, Ordering::Relaxed);
+        self.max.fetch_max(value_ns, Ordering::Relaxed);
+        self.buckets[bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the aggregate statistics.
+    pub fn snapshot(&self) -> HistStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        // p50 estimate: upper bound of the bucket holding the median,
+        // clamped into [min, max] so single observations are exact.
+        let mut p50 = max;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if count > 0 && 2 * seen >= count {
+                p50 = bucket_upper_bound(i).clamp(min, max);
+                break;
+            }
+        }
+        HistStats {
+            count,
+            total_ns: self.sum.load(Ordering::Relaxed),
+            min_ns: min,
+            max_ns: max,
+            p50_ns: p50,
+        }
+    }
+
+    /// Raw bucket counts (index by [`bucket_index`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Aggregate statistics of one histogram / span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation (0 when empty).
+    pub max_ns: u64,
+    /// Median estimate (log-bucket resolution, exact min/max clamped).
+    pub p50_ns: u64,
+}
+
+/// The process-wide metric store. Most callers use the free functions on
+/// the [`global`] registry; a private registry is handy in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    spans: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("obs counter lock");
+        match map.get(name) {
+            Some(c) => Counter(Arc::clone(c)),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&c));
+                Counter(c)
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("obs gauge lock");
+        match map.get(name) {
+            Some(g) => Gauge(Arc::clone(g)),
+            None => {
+                let g = Arc::new(AtomicI64::new(0));
+                map.insert(name.to_string(), Arc::clone(&g));
+                Gauge(g)
+            }
+        }
+    }
+
+    /// The span histogram named `name`, created on first use.
+    pub fn span_histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.spans.lock().expect("obs span lock");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Records a duration under a span name without an RAII guard.
+    pub fn record_span_ns(&self, name: &str, ns: u64) {
+        self.span_histogram(name).record(ns);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counter lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs gauge lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("obs span lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, spans }
+    }
+
+    /// Removes every metric. Handles held across a reset keep updating
+    /// their detached values; re-looking up the name yields a fresh metric.
+    pub fn reset(&self) {
+        self.counters.lock().expect("obs counter lock").clear();
+        self.gauges.lock().expect("obs gauge lock").clear();
+        self.spans.lock().expect("obs span lock").clear();
+    }
+}
+
+fn global_registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    global_registry()
+}
+
+/// The global counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// The global gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Records `ns` under the global span `name` without a guard.
+pub fn record_span_ns(name: &str, ns: u64) {
+    global().record_span_ns(name, ns);
+}
+
+/// A point-in-time copy of all global metrics.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clears all global metrics (see [`Registry::reset`] for caveats).
+pub fn reset() {
+    global().reset();
+}
+
+thread_local! {
+    /// The current span path of this thread ("" at top level).
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// An RAII scoped timer: the elapsed time between construction and drop is
+/// recorded in the global registry under the thread's nested span path.
+///
+/// Guards must drop in LIFO order (the natural scoping); a span opened
+/// inside another records under `outer/inner`.
+#[must_use = "a span records on drop; binding to _ drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    /// Length of the thread path before this span was pushed.
+    truncate_to: usize,
+    start: Instant,
+}
+
+/// Opens a scoped timer on the global registry. See [`Span`].
+pub fn span(name: &str) -> Span {
+    let truncate_to = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let before = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        before
+    });
+    Span { truncate_to, start: Instant::now() }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            global().record_span_ns(&p, ns);
+            p.truncate(self.truncate_to);
+        });
+    }
+}
+
+/// A point-in-time copy of a registry, exportable as JSON or TSV.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<String, HistStats>,
+}
+
+impl Snapshot {
+    /// Single-line JSON export with the stable schema shared with
+    /// `BENCH_views.json`: `schema`, `source`, `counters`, `gauges`, and a
+    /// `results` array of `{bench, name, median_ns, min_ns, samples,
+    /// total_ns, max_ns}` rows (one per span).
+    pub fn to_json(&self, source: &str) -> String {
+        let counters =
+            self.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect();
+        let gauges = self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect();
+        let results = self
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                Json::Obj(vec![
+                    ("bench".into(), Json::Str(source.into())),
+                    ("name".into(), Json::Str(name.clone())),
+                    ("median_ns".into(), Json::Num(s.p50_ns as f64)),
+                    ("min_ns".into(), Json::Num(s.min_ns as f64)),
+                    ("samples".into(), Json::Num(s.count as f64)),
+                    ("total_ns".into(), Json::Num(s.total_ns as f64)),
+                    ("max_ns".into(), Json::Num(s.max_ns as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(SCHEMA_VERSION as f64)),
+            ("source".into(), Json::Str(source.into())),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("results".into(), Json::Arr(results)),
+        ])
+        .to_string()
+    }
+
+    /// TSV export: one row per metric.
+    ///
+    /// ```text
+    /// counter <name> <value>
+    /// gauge   <name> <value>
+    /// span    <name> <count> <total_ns> <min_ns> <max_ns> <p50_ns>
+    /// ```
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter\t{name}\t{v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge\t{name}\t{v}\n"));
+        }
+        for (name, s) in &self.spans {
+            out.push_str(&format!(
+                "span\t{name}\t{}\t{}\t{}\t{}\t{}\n",
+                s.count, s.total_ns, s.min_ns, s.max_ns, s.p50_ns
+            ));
+        }
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`]; returns the
+    /// source tag and the snapshot. Span `total_ns`/`max_ns` fields are
+    /// optional (absent in hand-written baselines).
+    pub fn from_json(text: &str) -> Result<(String, Snapshot), String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        validate_bench_schema(&doc)?;
+        let source = doc.get("source").and_then(Json::as_str).unwrap_or_default().to_string();
+        let mut snap = Snapshot::default();
+        if let Some(fields) = doc.get("counters").and_then(Json::as_object) {
+            for (k, v) in fields {
+                snap.counters
+                    .insert(k.clone(), v.as_u64().ok_or(format!("counter {k} not a u64"))?);
+            }
+        }
+        if let Some(fields) = doc.get("gauges").and_then(Json::as_object) {
+            for (k, v) in fields {
+                snap.gauges
+                    .insert(k.clone(), v.as_i64().ok_or(format!("gauge {k} not an i64"))?);
+            }
+        }
+        for row in doc.get("results").and_then(Json::as_array).unwrap_or(&[]) {
+            let name = row.get("name").and_then(Json::as_str).ok_or("result row missing name")?;
+            let median = row
+                .get("median_ns")
+                .and_then(Json::as_u64)
+                .ok_or("result row missing median_ns")?;
+            let min =
+                row.get("min_ns").and_then(Json::as_u64).ok_or("result row missing min_ns")?;
+            let samples =
+                row.get("samples").and_then(Json::as_u64).ok_or("result row missing samples")?;
+            let total = row.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+            let max = row.get("max_ns").and_then(Json::as_u64).unwrap_or(median);
+            snap.spans.insert(
+                name.to_string(),
+                HistStats {
+                    count: samples,
+                    total_ns: total,
+                    min_ns: min,
+                    max_ns: max,
+                    p50_ns: median,
+                },
+            );
+        }
+        Ok((source, snap))
+    }
+}
+
+/// Validates the shared `BENCH_views.json` / exporter document shape:
+/// a `schema` number, optional `counters`/`gauges` objects with integer
+/// values, and a `results` array whose rows each carry string `bench` and
+/// `name` plus integer `median_ns`, `min_ns` and `samples`.
+pub fn validate_bench_schema(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_u64).ok_or("missing schema number")?;
+    if schema == 0 || schema > SCHEMA_VERSION {
+        return Err(format!("unsupported schema {schema} (expected 1..={SCHEMA_VERSION})"));
+    }
+    for section in ["counters", "gauges"] {
+        if let Some(v) = doc.get(section) {
+            let fields = v.as_object().ok_or(format!("{section} is not an object"))?;
+            for (k, v) in fields {
+                v.as_i64()
+                    .or(v.as_u64().map(|x| x as i64))
+                    .ok_or(format!("{section}/{k} is not an integer"))?;
+            }
+        }
+    }
+    let results = doc
+        .get("results")
+        .ok_or("missing results array")?
+        .as_array()
+        .ok_or("results is not an array")?;
+    for (i, row) in results.iter().enumerate() {
+        for key in ["bench", "name"] {
+            row.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("results[{i}] missing string {key}"))?;
+        }
+        for key in ["median_ns", "min_ns", "samples"] {
+            row.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("results[{i}] missing integer {key}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("t/c");
+        c.add(3);
+        reg.counter("t/c").inc();
+        assert_eq!(c.get(), 4);
+        let g = reg.gauge("t/g");
+        g.set(-7);
+        assert_eq!(reg.gauge("t/g").get(), -7);
+        g.set_max(2);
+        assert_eq!(g.get(), 2);
+        g.set_max(-100);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let reg = Registry::new();
+        reg.counter("a").add(1);
+        reg.record_span_ns("s", 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 1);
+        assert_eq!(snap.spans["s"].count, 1);
+        reg.reset();
+        assert!(reg.snapshot().counters.is_empty());
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn histogram_stats_exact_fields() {
+        let h = Histogram::default();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert!(s.p50_ns >= 10 && s.p50_ns <= 31, "p50 {} in bucket range", s.p50_ns);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s, HistStats::default());
+    }
+}

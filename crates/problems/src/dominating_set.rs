@@ -12,7 +12,8 @@ pub const GOAL: Goal = Goal::Minimize;
 
 /// Whether every node is in `x` or adjacent to a member of `x`.
 pub fn feasible(g: &Graph, x: &VertexSet) -> bool {
-    g.nodes().all(|v| x.contains(&v) || g.neighbors(v).iter().any(|u| x.contains(u)))
+    g.nodes()
+        .all(|v| x.contains(&v) || g.neighbors(v).iter().any(|u| x.contains(u)))
 }
 
 /// Radius-1 local verifier: `v` accepts iff `v` itself is dominated.

@@ -14,8 +14,7 @@ pub const GOAL: Goal = Goal::Minimize;
 /// Whether every node is incident to some member of `x` (and members are
 /// real edges). Graphs with isolated nodes have no edge cover.
 pub fn feasible(g: &Graph, x: &EdgeSet) -> bool {
-    x.iter().all(|e| g.has_edge(e.u, e.v))
-        && g.nodes().all(|v| x.iter().any(|e| e.touches(v)))
+    x.iter().all(|e| g.has_edge(e.u, e.v)) && g.nodes().all(|v| x.iter().any(|e| e.touches(v)))
 }
 
 /// Radius-1 local verifier: `v` accepts iff some incident edge is in `x`

@@ -15,8 +15,7 @@ pub const GOAL: Goal = Goal::Minimize;
 
 /// Whether every edge is dominated by `x` (and members are real edges).
 pub fn feasible(g: &Graph, x: &EdgeSet) -> bool {
-    x.iter().all(|e| g.has_edge(e.u, e.v))
-        && g.edges().all(|e| touched(x, e.u) || touched(x, e.v))
+    x.iter().all(|e| g.has_edge(e.u, e.v)) && g.edges().all(|e| touched(x, e.u) || touched(x, e.v))
 }
 
 /// Radius-1 local verifier: `v` accepts iff every incident edge `{v, u}`

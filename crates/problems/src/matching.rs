@@ -34,10 +34,7 @@ pub fn local_check(g: &Graph, x: &EdgeSet, v: NodeId) -> bool {
 
 /// Whether a matching is *maximal* (no edge can be added).
 pub fn is_maximal(g: &Graph, x: &EdgeSet) -> bool {
-    feasible(g, x)
-        && g.edges().all(|e| {
-            x.iter().any(|m| m.adjacent(&e))
-        })
+    feasible(g, x) && g.edges().all(|e| x.iter().any(|m| m.adjacent(&e)))
 }
 
 /// Greedy maximal matching (scan edges in sorted order).
@@ -65,13 +62,7 @@ pub fn solve_exact(g: &Graph) -> EdgeSet {
     let mut best: Vec<Edge> = greedy_maximal(g).into_iter().collect();
     let mut current: Vec<Edge> = Vec::new();
 
-    fn rec(
-        edges: &[Edge],
-        i: usize,
-        used: u128,
-        current: &mut Vec<Edge>,
-        best: &mut Vec<Edge>,
-    ) {
+    fn rec(edges: &[Edge], i: usize, used: u128, current: &mut Vec<Edge>, best: &mut Vec<Edge>) {
         // upper bound: everything that remains could be added
         if current.len() + (edges.len() - i) <= best.len() {
             return;

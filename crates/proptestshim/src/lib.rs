@@ -107,11 +107,7 @@ pub trait Strategy {
     }
 
     /// A strategy retrying until `f` accepts the value (bounded retries).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -279,10 +275,7 @@ pub mod prop {
 
         /// A strategy for `Vec`s with element strategy `elem` and a length
         /// drawn from `len` (any strategy producing `usize`, e.g. a range).
-        pub fn vec<S: Strategy, L: Strategy<Value = usize>>(
-            elem: S,
-            len: L,
-        ) -> VecStrategy<S, L> {
+        pub fn vec<S: Strategy, L: Strategy<Value = usize>>(elem: S, len: L) -> VecStrategy<S, L> {
             VecStrategy { elem, len }
         }
 
@@ -364,7 +357,11 @@ macro_rules! prop_assert_ne {
         if l == r {
             return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: {} != {}\n  both: {:?}\n at {}:{}",
-                stringify!($left), stringify!($right), l, file!(), line!()
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
             )));
         }
     }};

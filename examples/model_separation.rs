@@ -16,7 +16,9 @@ fn main() {
         let out = cycle_mis_n(n, None);
         println!(
             "  n = {n:5}: reduction rounds = {}, total = {}, |MIS| = {}",
-            out.reduction_rounds, out.total_rounds, out.mis.len()
+            out.reduction_rounds,
+            out.total_rounds,
+            out.mis.len()
         );
     }
 

@@ -21,17 +21,22 @@ fn main() {
     println!("G0: directed cycle on {} nodes (Δ' = {})", report.n, inst.delta_prime);
     println!("  exact minimum EDS:              {}", report.opt);
     println!("  best PO-attainable (symmetric): {}", report.min_symmetric);
-    println!("  certified PO lower bound:       {} (= 4 - 2/Δ' = {})",
-        report.ratio, eds_bound(inst.delta_prime));
+    println!(
+        "  certified PO lower bound:       {} (= 4 - 2/Δ' = {})",
+        report.ratio,
+        eds_bound(inst.delta_prime)
+    );
 
     // ---- upper bound (double-cover algorithm, Suomela 2010) ------------
     let g = gen::cycle(9);
     let ports = PortNumbering::sorted(&g);
     let d = eds_double_cover(&g, &ports);
     assert!(edge_dominating_set::feasible(&g, &d));
-    println!("\ndouble-cover EDS algorithm on C9: |D| = {} vs OPT = {}",
+    println!(
+        "\ndouble-cover EDS algorithm on C9: |D| = {} vs OPT = {}",
         d.len(),
-        edge_dominating_set::opt_value(&g));
+        edge_dominating_set::opt_value(&g)
+    );
     println!("\n=> the factor 4 - 2/Δ' is tight, and by the main theorem the");
     println!("   lower bound holds with unique identifiers (ID) too.");
 }

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# The full local CI gate: release build, tests, strict clippy.
-# Run before every push; CI runs exactly this.
+# The full local CI gate: format check first (cheapest), then release
+# build, tests, strict clippy. Run before every push; CI runs exactly
+# this. Each step reports its wall-clock time so regressions in the gate
+# itself are visible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+step() {
+    local name=$1
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    echo "    [$name: $((SECONDS - t0))s]"
+}
 
-echo "==> cargo test -q"
-cargo test -q --workspace
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+step "cargo fmt --check" cargo fmt --all -- --check
+step "cargo build --release" cargo build --release --workspace
+step "cargo test -q" cargo test -q --workspace
+step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI gate passed."

@@ -95,10 +95,7 @@ fn eds_instance_with_broken_labelling_rejected() {
     };
     let e = bad.digraph.edges().next().unwrap();
     assert!(bad.digraph.remove_edge(e.from, e.to, e.label));
-    assert!(matches!(
-        lower_bound_report(&bad),
-        Err(CoreError::VerificationFailed { .. })
-    ));
+    assert!(matches!(lower_bound_report(&bad), Err(CoreError::VerificationFailed { .. })));
 }
 
 #[test]

@@ -146,10 +146,7 @@ fn approximation_preserved_through_simulation() {
     let lift_und = lift.lift.underlying_simple();
     let a_out = run::oi_vertex(&lift_und, &lift.rank, &NonMinCover);
     let a_size = a_out.iter().filter(|&&x| x).count();
-    let a_feasible = vertex_cover::feasible(
-        &lift_und,
-        &run::to_vertex_set(&a_out),
-    );
+    let a_feasible = vertex_cover::feasible(&lift_und, &run::to_vertex_set(&a_out));
     assert!(a_feasible, "A is a vertex cover on the lift");
     // Fact 4.3-style accounting: |A| >= agreement-weighted |B|
     assert!(a_size as f64 >= rep.agreement.to_f64() * rep.b_on_lift as f64 - 1e-9);
