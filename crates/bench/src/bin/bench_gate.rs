@@ -197,8 +197,15 @@ fn check(cfg: &Config) -> i32 {
         println!("bench gate: OK");
         0
     } else {
+        // the full table (every row, not just the offenders) plus the
+        // applied tolerance, so a failure log is self-contained
+        println!("\nbench gate: full baseline-vs-current comparison:");
+        print!(
+            "{}",
+            gate::render_comparison_tsv(&baseline, &benches, &measurements(&best), cfg.tolerance)
+        );
         println!(
-            "bench gate: FAILED ({} regressions, {} missing, {} counter mismatches)",
+            "\nbench gate: FAILED ({} regressions, {} missing, {} counter mismatches)",
             outcome.regressions.len(),
             outcome.missing.len(),
             outcome.counter_mismatches.len()

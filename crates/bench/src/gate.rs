@@ -210,6 +210,42 @@ pub fn benches_of(regressions: &[Regression], baseline: &Baseline) -> Vec<String
     out
 }
 
+/// Renders the full baseline-vs-current comparison as a TSV table, one
+/// row per baseline entry (restricted to `benches_run`), with the ratio
+/// and the verdict under `tolerance`. Printed in full when the gate
+/// fails, so a failure log shows every measurement — not just the
+/// offending rows — alongside the tolerance that was actually applied.
+pub fn render_comparison_tsv(
+    baseline: &Baseline,
+    benches_run: &[String],
+    current: &[Measurement],
+    tolerance: f64,
+) -> String {
+    let by_name: BTreeMap<&str, &Measurement> =
+        current.iter().map(|m| (m.name.as_str(), m)).collect();
+    let mut out =
+        format!("name\tbaseline_ns\tcurrent_ns\tratio\tstatus (tolerance x{tolerance})\n");
+    for (name, row) in &baseline.rows {
+        if !benches_run.contains(&row.bench) {
+            continue;
+        }
+        match by_name.get(name.as_str()) {
+            None => {
+                out.push_str(&format!("{name}\t{}\t-\t-\tMISSING\n", row.median_ns));
+            }
+            Some(m) => {
+                let ratio = m.median_ns as f64 / (row.median_ns.max(1)) as f64;
+                let status = if ratio > tolerance { "REGRESSION" } else { "ok" };
+                out.push_str(&format!(
+                    "{name}\t{}\t{}\t{ratio:.3}\t{status}\n",
+                    row.median_ns, m.median_ns
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Compares the expected counter snapshot against an actual one, exactly;
 /// keys absent from `expected` are ignored (new instrumentation is not a
 /// regression), keys absent from `actual` are mismatches.
@@ -442,6 +478,26 @@ mod tests {
             Regression { name: "gone/row".into(), baseline_ns: 1, current_ns: 2, ratio: 2.0 },
         ];
         assert_eq!(benches_of(&regs, &b), vec!["b1".to_string(), "b2".to_string()]);
+    }
+
+    #[test]
+    fn comparison_tsv_lists_every_row_and_the_tolerance() {
+        let b = parse_baseline(SCHEMA1).unwrap();
+        // b1 regressed, b2 fine and present -> both rows still printed
+        let current = vec![
+            Measurement { name: "b1/f/1".into(), median_ns: 3000, min_ns: 2900, samples: 20 },
+            Measurement { name: "b2/g/2".into(), median_ns: 5000, min_ns: 4500, samples: 20 },
+        ];
+        let tsv = render_comparison_tsv(&b, &all_benches(), &current, 1.25);
+        assert!(tsv.contains("tolerance x1.25"), "{tsv}");
+        assert!(tsv.contains("b1/f/1\t1000\t3000\t3.000\tREGRESSION"), "{tsv}");
+        assert!(tsv.contains("b2/g/2\t5000\t5000\t1.000\tok"), "{tsv}");
+        // a missing row renders too
+        let tsv = render_comparison_tsv(&b, &all_benches(), &current[..1], 1.25);
+        assert!(tsv.contains("b2/g/2\t5000\t-\t-\tMISSING"), "{tsv}");
+        // rows of benches not rerun are excluded
+        let tsv = render_comparison_tsv(&b, &["b1".to_string()], &current, 1.25);
+        assert!(!tsv.contains("b2/g/2"), "{tsv}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod trace_report;
 
 use locap_obs as obs;
 
@@ -57,9 +58,15 @@ macro_rules! hprint {
 /// shared with `BENCH_views.json`; `source` tags the emitting binary).
 pub fn run(source: &str, id: &str, title: &str, body: impl FnOnce()) {
     banner(id, title);
+    obs::trace::init_from_env();
     {
         let _total = obs::span("total");
         body();
+    }
+    match obs::trace::flush_from_env() {
+        Ok(Some(path)) => hprintln!("trace written to {path} (+ {path}.folded)"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write trace: {e}"),
     }
     if !human_output() {
         println!("{}", obs::snapshot().to_json(source));

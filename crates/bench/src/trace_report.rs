@@ -1,0 +1,448 @@
+//! Post-hoc analysis of Chrome trace files written by the `locap-obs`
+//! trace layer (`OBS_TRACE=<path>`).
+//!
+//! The `trace_report` binary is a thin CLI over this module. Three views:
+//!
+//! * an **attribution tree** — per span path: count, total, self and max
+//!   duration, where self time subtracts the totals of the path's nearest
+//!   *observed* descendants (the same convention as the `.folded` export);
+//! * a **per-round table** — spans carrying a `round` argument (the
+//!   simulator rounds and the view-refinement levels) grouped by round
+//!   number with their other numeric arguments summed;
+//! * a **diff** of two traces — per-path total deltas, for before/after
+//!   comparisons of the same workload.
+
+use std::collections::BTreeMap;
+
+use locap_obs::json::Json;
+
+/// One complete ("X") span event read back from a trace file.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Full `/`-separated span path (the event name).
+    pub path: String,
+    /// Trace-local thread id.
+    pub tid: u32,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured arguments attached to the span.
+    pub args: Vec<(String, i64)>,
+}
+
+/// A parsed trace file: spans plus summary counts of everything else.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All span events, in file order.
+    pub spans: Vec<SpanRecord>,
+    /// Number of instant events.
+    pub instants: u64,
+    /// Number of counter samples.
+    pub counters: u64,
+    /// Ring-buffer overflow count reported by the writer.
+    pub dropped: u64,
+    /// `(tid, name)` pairs from thread-name metadata.
+    pub threads: Vec<(u32, String)>,
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Number of span events with this path.
+    pub count: u64,
+    /// Sum of durations.
+    pub total_ns: u64,
+    /// Total minus the totals of nearest-observed descendants (clamped at
+    /// zero: parallel workers can exceed their parent's wall clock).
+    pub self_ns: u64,
+    /// Largest single duration.
+    pub max_ns: u64,
+}
+
+/// Reads and parses a trace file.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure.
+pub fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses Chrome trace-event JSON (the object form with `traceEvents`).
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing/ill-typed `traceEvents` array.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array".to_string())?;
+    let mut trace = Trace {
+        dropped: doc.get("droppedEvents").and_then(Json::as_u64).unwrap_or(0),
+        ..Trace::default()
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing name"))?
+            .to_string();
+        let tid =
+            ev.get("tid").and_then(Json::as_u64).ok_or(format!("event {i}: missing tid"))? as u32;
+        match ph {
+            "X" => {
+                let dur_us = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: X without dur"))?;
+                let args = match ev.get("args").and_then(Json::as_object) {
+                    Some(pairs) => pairs
+                        .iter()
+                        .filter_map(|(k, v)| v.as_i64().map(|n| (k.clone(), n)))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                trace.spans.push(SpanRecord {
+                    path: name,
+                    tid,
+                    dur_ns: (dur_us * 1000.0).round() as u64,
+                    args,
+                });
+            }
+            "i" => trace.instants += 1,
+            "C" => trace.counters += 1,
+            "M" => {
+                if name == "thread_name" {
+                    if let Some(n) =
+                        ev.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+                    {
+                        trace.threads.push((tid, n.to_string()));
+                    }
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    Ok(trace)
+}
+
+/// Aggregates spans per path, computing count/total/self/max. Self time
+/// uses the nearest *observed* ancestor convention: each path's total is
+/// charged to the closest prefix that itself appears in the trace.
+pub fn aggregate(trace: &Trace) -> BTreeMap<String, PathStats> {
+    let mut stats: BTreeMap<String, PathStats> = BTreeMap::new();
+    for s in &trace.spans {
+        let e = stats.entry(s.path.clone()).or_default();
+        e.count += 1;
+        e.total_ns += s.dur_ns;
+        e.max_ns = e.max_ns.max(s.dur_ns);
+    }
+    let mut child_sum: BTreeMap<String, u64> = BTreeMap::new();
+    let paths: Vec<String> = stats.keys().cloned().collect();
+    for path in &paths {
+        let total = stats[path].total_ns;
+        let mut anc = path.as_str();
+        while let Some((up, _)) = anc.rsplit_once('/') {
+            anc = up;
+            if stats.contains_key(anc) {
+                *child_sum.entry(anc.to_string()).or_insert(0) += total;
+                break;
+            }
+        }
+    }
+    for (path, s) in &mut stats {
+        s.self_ns = s.total_ns.saturating_sub(child_sum.get(path).copied().unwrap_or(0));
+    }
+    stats
+}
+
+/// One row of the per-round cost table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRow {
+    /// The `round` argument value.
+    pub round: i64,
+    /// Number of round-tagged spans.
+    pub count: u64,
+    /// Summed duration of those spans.
+    pub total_ns: u64,
+    /// Other numeric arguments, summed per key (e.g. `messages`).
+    pub args: BTreeMap<String, i64>,
+}
+
+/// Groups spans carrying a `round` argument by round number.
+pub fn per_round(trace: &Trace) -> Vec<RoundRow> {
+    let mut rows: BTreeMap<i64, RoundRow> = BTreeMap::new();
+    for s in &trace.spans {
+        let Some(&(_, round)) = s.args.iter().find(|(k, _)| k == "round") else { continue };
+        let row = rows.entry(round).or_insert(RoundRow {
+            round,
+            count: 0,
+            total_ns: 0,
+            args: BTreeMap::new(),
+        });
+        row.count += 1;
+        row.total_ns += s.dur_ns;
+        for (k, v) in &s.args {
+            if k != "round" {
+                *row.args.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+    }
+    rows.into_values().collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn render_columns(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for c in 0..cols {
+            widths[c] = widths[c].max(row[c].len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], out: &mut String| {
+        let mut s = String::new();
+        for c in 0..cols {
+            // last column (the path) left-aligned, numerics right-aligned
+            if c + 1 == cols {
+                s.push_str(&cells[c]);
+            } else {
+                s.push_str(&format!("{:>width$}  ", cells[c], width = widths[c]));
+            }
+        }
+        out.push_str(s.trim_end());
+        out.push('\n');
+    };
+    line(header, &mut out);
+    for row in rows {
+        line(row, &mut out);
+    }
+    out
+}
+
+/// Renders the attribution tree: one line per path, indented by depth,
+/// with count / total / self / max columns (milliseconds).
+pub fn render_tree(stats: &BTreeMap<String, PathStats>) -> String {
+    let header: Vec<String> =
+        ["count", "total_ms", "self_ms", "max_ms", "path"].map(str::to_string).into();
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|(path, s)| {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            vec![
+                s.count.to_string(),
+                fmt_ms(s.total_ns),
+                fmt_ms(s.self_ns),
+                fmt_ms(s.max_ns),
+                format!("{}{leaf}", "  ".repeat(depth)),
+            ]
+        })
+        .collect();
+    render_columns(&header, &rows)
+}
+
+/// Renders the per-round cost table.
+pub fn render_rounds(rows: &[RoundRow]) -> String {
+    if rows.is_empty() {
+        return "(no round-tagged spans)\n".to_string();
+    }
+    let mut arg_keys: Vec<String> = Vec::new();
+    for r in rows {
+        for k in r.args.keys() {
+            if !arg_keys.contains(k) {
+                arg_keys.push(k.clone());
+            }
+        }
+    }
+    arg_keys.sort();
+    let mut header: Vec<String> =
+        ["round", "spans", "total_ms"].iter().map(|s| s.to_string()).collect();
+    header.extend(arg_keys.iter().cloned());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.round.to_string(), r.count.to_string(), fmt_ms(r.total_ns)];
+            for k in &arg_keys {
+                row.push(r.args.get(k).map_or_else(|| "-".to_string(), |v| v.to_string()));
+            }
+            row
+        })
+        .collect();
+    // per-round tables read better with the numeric columns only
+    render_columns(&header, &table)
+}
+
+/// Renders per-path deltas between two aggregated traces: total in A,
+/// total in B, signed delta, and percentage change relative to A.
+pub fn render_diff(a: &BTreeMap<String, PathStats>, b: &BTreeMap<String, PathStats>) -> String {
+    let mut paths: Vec<&String> = a.keys().chain(b.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    let header: Vec<String> = ["a_total_ms", "b_total_ms", "delta_ms", "delta_pct", "path"]
+        .map(str::to_string)
+        .into();
+    let rows: Vec<Vec<String>> = paths
+        .iter()
+        .map(|path| {
+            let ta = a.get(*path).map_or(0, |s| s.total_ns);
+            let tb = b.get(*path).map_or(0, |s| s.total_ns);
+            let delta = tb as i128 - ta as i128;
+            let pct = if ta == 0 {
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * delta as f64 / ta as f64)
+            };
+            vec![
+                fmt_ms(ta),
+                fmt_ms(tb),
+                format!("{:+.3}", delta as f64 / 1e6),
+                pct,
+                (*path).clone(),
+            ]
+        })
+        .collect();
+    render_columns(&header, &rows)
+}
+
+/// Renders the full single-trace report (summary, tree, rounds).
+pub fn render_report(trace: &Trace) -> String {
+    let stats = aggregate(trace);
+    let span_total: u64 = trace.spans.len() as u64;
+    let mut out = format!(
+        "events: {span_total} spans, {} instants, {} counter samples ({} dropped), {} threads\n\n",
+        trace.instants,
+        trace.counters,
+        trace.dropped,
+        trace.threads.len()
+    );
+    out.push_str("== span attribution (total/self in ms) ==\n");
+    out.push_str(&render_tree(&stats));
+    out.push_str("\n== per-round costs ==\n");
+    out.push_str(&render_rounds(&per_round(trace)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(path: &str, tid: u32, ts: f64, dur: f64, args: &[(&str, i64)]) -> String {
+        let args: Vec<String> = args.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        format!(
+            "{{\"name\": \"{path}\", \"pid\": 1, \"tid\": {tid}, \"ts\": {ts}, \
+             \"ph\": \"X\", \"dur\": {dur}, \"cat\": \"span\", \"args\": {{{}}}}}",
+            args.join(", ")
+        )
+    }
+
+    fn doc(events: &[String]) -> String {
+        format!(
+            "{{\"traceEvents\": [{}], \"displayTimeUnit\": \"ns\", \"droppedEvents\": 0}}",
+            events.join(", ")
+        )
+    }
+
+    #[test]
+    fn parse_and_aggregate_self_time() {
+        // parent 10ms with two children of 3ms: self = 4ms. The
+        // grandchild's total is charged to its nearest observed ancestor
+        // (the child), not the parent.
+        let text = doc(&[
+            ev("p", 1, 0.0, 10_000.0, &[]),
+            ev("p/c", 1, 100.0, 3_000.0, &[]),
+            ev("p/c", 1, 4000.0, 3_000.0, &[]),
+            ev("p/c/skip/g", 1, 200.0, 1_000.0, &[]),
+        ]);
+        let trace = parse(&text).unwrap();
+        assert_eq!(trace.spans.len(), 4);
+        let stats = aggregate(&trace);
+        assert_eq!(stats["p"].total_ns, 10_000_000);
+        assert_eq!(stats["p"].self_ns, 4_000_000);
+        assert_eq!(stats["p/c"].count, 2);
+        assert_eq!(stats["p/c"].self_ns, 5_000_000);
+        assert_eq!(stats["p/c"].max_ns, 3_000_000);
+        assert_eq!(stats["p/c/skip/g"].self_ns, 1_000_000);
+    }
+
+    #[test]
+    fn self_time_clamps_for_parallel_children() {
+        // two parallel workers sum past the parent's wall clock
+        let text = doc(&[
+            ev("p", 1, 0.0, 5_000.0, &[]),
+            ev("p/w", 2, 0.0, 4_000.0, &[]),
+            ev("p/w", 3, 0.0, 4_000.0, &[]),
+        ]);
+        let stats = aggregate(&parse(&text).unwrap());
+        assert_eq!(stats["p"].self_ns, 0);
+        assert_eq!(stats["p/w"].total_ns, 8_000_000);
+    }
+
+    #[test]
+    fn per_round_groups_and_sums_args() {
+        let text = doc(&[
+            ev("sim/round", 1, 0.0, 100.0, &[("round", 0), ("messages", 12)]),
+            ev("sim/round", 1, 200.0, 150.0, &[("round", 1), ("messages", 8)]),
+            ev("refine/round", 1, 400.0, 50.0, &[("round", 1), ("classes", 3)]),
+            ev("untagged", 1, 600.0, 9.0, &[]),
+        ]);
+        let rows = per_round(&parse(&text).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].round, 0);
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].round, 1);
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_ns, 200_000);
+        assert_eq!(rows[1].args["messages"], 8);
+        assert_eq!(rows[1].args["classes"], 3);
+        let rendered = render_rounds(&rows);
+        assert!(rendered.contains("messages"), "{rendered}");
+        assert!(rendered.contains("0.200"), "{rendered}");
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_new_paths() {
+        let a = aggregate(&parse(&doc(&[ev("x", 1, 0.0, 1_000.0, &[])])).unwrap());
+        let b = aggregate(
+            &parse(&doc(&[ev("x", 1, 0.0, 1_500.0, &[]), ev("y", 1, 0.0, 2_000.0, &[])])).unwrap(),
+        );
+        let out = render_diff(&a, &b);
+        assert!(out.contains("+50.0%"), "{out}");
+        assert!(out.lines().any(|l| l.ends_with('y') && l.contains('-')), "{out}");
+    }
+
+    #[test]
+    fn parse_counts_non_span_events_and_threads() {
+        let text = "{\"traceEvents\": [\
+            {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": 7, \
+             \"args\": {\"name\": \"worker-7\"}},\
+            {\"name\": \"hit\", \"pid\": 1, \"tid\": 7, \"ts\": 1.5, \"ph\": \"i\", \
+             \"s\": \"t\", \"cat\": \"instant\", \"args\": {}},\
+            {\"name\": \"msgs\", \"pid\": 1, \"tid\": 7, \"ts\": 2.0, \"ph\": \"C\", \
+             \"cat\": \"counter\", \"args\": {\"value\": 4}}\
+        ], \"droppedEvents\": 3}";
+        let trace = parse(text).unwrap();
+        assert_eq!(trace.instants, 1);
+        assert_eq!(trace.counters, 1);
+        assert_eq!(trace.dropped, 3);
+        assert_eq!(trace.threads, vec![(7, "worker-7".to_string())]);
+        assert!(trace.spans.is_empty());
+        // report renders without panicking even with no spans
+        let report = render_report(&trace);
+        assert!(report.contains("no round-tagged spans"), "{report}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"foo\": 1}").is_err());
+        assert!(parse("{\"traceEvents\": [{\"ph\": \"Z\", \"name\": \"x\", \"tid\": 0}]}").is_err());
+    }
+}

@@ -48,3 +48,48 @@ obs_json_test!(e11, "e11_eds", env!("CARGO_BIN_EXE_e11_eds"));
 obs_json_test!(e12, "e12_claims_table", env!("CARGO_BIN_EXE_e12_claims_table"));
 obs_json_test!(e13, "e13_growth", env!("CARGO_BIN_EXE_e13_growth"));
 obs_json_test!(e14, "e14_po_vs_pn", env!("CARGO_BIN_EXE_e14_po_vs_pn"));
+
+/// `OBS_JSON=1` and `OBS_TRACE` compose: the run still prints exactly one
+/// schema-valid metrics line on stdout *and* writes a well-formed trace
+/// pair (Chrome JSON + collapsed stacks) to the requested path.
+#[test]
+fn obs_json_and_obs_trace_compose() {
+    let dir = std::env::temp_dir().join(format!("locap_compose_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("e04.trace.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_e04_views"))
+        .env("OBS_JSON", "1")
+        .env("OBS_TRACE", &trace_path)
+        .output()
+        .expect("spawn e04_views");
+    assert!(out.status.success(), "exit {}", out.status);
+
+    // the metrics contract is unchanged: one schema-valid stdout line
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "expected exactly one stdout line, got {}:\n{stdout}", lines.len());
+    let doc = Json::parse(lines[0]).expect("metrics JSON parses");
+    locap_obs::validate_bench_schema(&doc).expect("metrics schema valid");
+
+    // and the trace pair exists and is well-formed
+    let trace = locap_bench::trace_report::load(trace_path.to_str().expect("utf8 path"))
+        .expect("trace file parses as Chrome trace JSON");
+    assert!(!trace.spans.is_empty(), "trace records spans");
+    assert!(trace.spans.iter().any(|s| s.path == "total"), "total span traced");
+    let folded = std::fs::read_to_string(format!("{}.folded", trace_path.display()))
+        .expect("collapsed-stack file written");
+    assert!(folded.lines().any(|l| l.starts_with("total")), "folded stacks non-empty: {folded}");
+
+    // trace span totals agree with the snapshot's span rows (same run)
+    let agg = locap_bench::trace_report::aggregate(&trace);
+    for row in doc.get("results").and_then(Json::as_array).expect("results") {
+        let name = row.get("name").and_then(Json::as_str).expect("name");
+        let samples = row.get("samples").and_then(Json::as_u64).expect("samples");
+        let total_ns = row.get("total_ns").and_then(Json::as_u64).expect("total_ns");
+        let stats = agg.get(name).unwrap_or_else(|| panic!("{name} missing from trace"));
+        assert_eq!(stats.count, samples, "{name}: span count");
+        assert_eq!(stats.total_ns, total_ns, "{name}: span total");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -146,9 +146,9 @@ pub struct LowerBoundReport {
 /// Fails if the instance is not PO-symmetric or no symmetric solution is
 /// feasible.
 pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreError> {
-    let _span = obs::span("eds_lower/report");
     let d = &inst.digraph;
     let n = d.node_count();
+    let _span = obs::span_with("eds_lower/report", &[("nodes", n as i64)]);
     if !d.is_label_complete() {
         return Err(CoreError::VerificationFailed {
             property: "instance is not label-complete".into(),
@@ -173,8 +173,8 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
 
     // symmetric solutions: unions of label classes
     let min_symmetric = {
-        let _span = obs::span("symmetric_enum");
         let k = d.alphabet_size();
+        let _span = obs::span_with("symmetric_enum", &[("labels", k as i64)]);
         let mut best: Option<usize> = None;
         for mask in 1u32..(1 << k) {
             let chosen: BTreeSet<Edge> = d

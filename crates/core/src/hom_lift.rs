@@ -72,7 +72,7 @@ pub fn eval_word(u: &IterGroup, gens: &[Vec<i64>], w: &Word) -> Vec<i64> {
 ///
 /// Fails if the alphabets disagree or the verified properties do not hold.
 pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<HomogeneousLift, CoreError> {
-    let _span = obs::span("hom_lift/lift");
+    let mut lift_span = obs::span("hom_lift/lift");
     if g.alphabet_size() != h.digraph.alphabet_size() {
         return Err(CoreError::BadParameters {
             reason: format!(
@@ -84,6 +84,8 @@ pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<Homogeneou
     }
     let ng = g.node_count();
     let nh = h.node_count();
+    lift_span.arg("fibre", ng as i64);
+    lift_span.arg("fibres", nh as i64);
     let lift = label_matching_product(&h.digraph, g);
 
     // ϕ_G((a, b)) = b; a covering map because H is label-complete.

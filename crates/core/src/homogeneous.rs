@@ -190,12 +190,22 @@ fn census_count(
         return count_range(0, n);
     }
     let chunk = n.div_ceil(workers);
+    let parent_path = obs::current_span_path();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(n));
                 let count_range = &count_range;
-                s.spawn(move || count_range(lo, hi))
+                let parent_path = &parent_path;
+                s.spawn(move || {
+                    // parent path adoption: parallel tracks in traces
+                    let _adopt = obs::adopt_span_path(parent_path);
+                    let _s = obs::span_with(
+                        "worker",
+                        &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
+                    );
+                    count_range(lo, hi)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("census worker panicked")).sum()

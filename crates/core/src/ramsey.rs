@@ -42,7 +42,10 @@ where
     C: Eq + Clone,
     F: FnMut(&[u64]) -> C,
 {
-    let _span = obs::span("ramsey/monochromatic_subset");
+    let _span = obs::span_with(
+        "ramsey/monochromatic_subset",
+        &[("universe", universe.len() as i64), ("t", t as i64), ("m", m as i64)],
+    );
     if m < t || universe.len() < m {
         return None;
     }
@@ -210,7 +213,7 @@ pub fn ramsey_cycle_transfer<A>(
 where
     A: IdVertexAlgorithm + Clone,
 {
-    let _span = obs::span("ramsey/cycle_transfer");
+    let _span = obs::span_with("ramsey/cycle_transfer", &[("r", r as i64), ("m", m as i64)]);
     let t = 2 * r + 1;
     let algo_ref = algo.clone();
     let mut color = move |s: &[u64]| cycle_tstar_color(&algo_ref, s);

@@ -62,17 +62,31 @@ pub fn transfer_vertex<A>(
     opt: impl Fn(&Graph) -> usize,
 ) -> Result<(TransferReport, HomogeneousLift), CoreError>
 where
-    A: OiVertexAlgorithm + Clone,
+    A: OiVertexAlgorithm + Clone + Send + Sync,
 {
-    let _span = obs::span("transfer/vertex");
+    let mut span = obs::span("transfer/vertex");
     let lift = homogeneous_lift(g, h)?;
+    span.arg("lift_nodes", lift.node_count() as i64);
     let b = PoFromOi::from_homogeneous(oi.clone(), h);
 
-    // A on the ordered lift (the OI model)
+    // A on the ordered lift (OI model) and B on the lift (PO model) are
+    // independent; run them on two scoped threads. Each worker adopts the
+    // parent span path, so the fan-out shows as parallel tracks under
+    // transfer/vertex in traces while span/counter totals stay identical
+    // to the sequential order.
     let lift_und = lift.lift.underlying_simple();
-    let a_out = run::oi_vertex(&lift_und, &lift.rank, &oi);
-    // B on the lift (the PO model)
-    let b_out = run::po_vertex(&lift.lift, &b);
+    let parent_path = obs::current_span_path();
+    let (a_out, b_out) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            let _adopt = obs::adopt_span_path(&parent_path);
+            run::oi_vertex(&lift_und, &lift.rank, &oi)
+        });
+        let b_handle = scope.spawn(|| {
+            let _adopt = obs::adopt_span_path(&parent_path);
+            run::po_vertex(&lift.lift, &b)
+        });
+        (a.join().expect("A-on-lift worker"), b_handle.join().expect("B-on-lift worker"))
+    });
     let agreement = {
         let same = a_out.iter().zip(&b_out).filter(|(x, y)| x == y).count();
         Ratio::new(same as i128, a_out.len() as i128).expect("non-empty lift")
@@ -142,17 +156,29 @@ pub fn transfer_edge<A>(
     opt: impl Fn(&Graph) -> usize,
 ) -> Result<(EdgeTransferReport, HomogeneousLift), CoreError>
 where
-    A: locap_models::OiEdgeAlgorithm + Clone,
+    A: locap_models::OiEdgeAlgorithm + Clone + Send + Sync,
 {
     use crate::oi_to_po::PoFromOiEdge;
 
-    let _span = obs::span("transfer/edge");
+    let mut span = obs::span("transfer/edge");
     let lift = homogeneous_lift(g, h)?;
+    span.arg("lift_nodes", lift.node_count() as i64);
     let b = PoFromOiEdge::from_homogeneous(oi.clone(), h);
 
+    // A and B on the lift are independent, as in [`transfer_vertex`]
     let lift_und = lift.lift.underlying_simple();
-    let a_set = run::oi_edge(&lift_und, &lift.rank, &oi);
-    let b_lift_set = run::po_edge(&lift.lift, &b);
+    let parent_path = obs::current_span_path();
+    let (a_set, b_lift_set) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            let _adopt = obs::adopt_span_path(&parent_path);
+            run::oi_edge(&lift_und, &lift.rank, &oi)
+        });
+        let b_handle = scope.spawn(|| {
+            let _adopt = obs::adopt_span_path(&parent_path);
+            run::po_edge(&lift.lift, &b)
+        });
+        (a.join().expect("A-on-lift worker"), b_handle.join().expect("B-on-lift worker"))
+    });
     let b_g_set = run::po_edge(g, &b);
 
     let g_und = g.underlying_simple();

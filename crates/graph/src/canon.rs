@@ -357,7 +357,7 @@ where
     F: Fn(&mut NbhdScratch, NodeId) -> T + Sync,
 {
     const PARALLEL_MIN_NODES: usize = 1 << 10;
-    let _span = obs::span(&format!("census/{name}"));
+    let _span = obs::span_with(&format!("census/{name}"), &[("nodes", n as i64)]);
     obs::counter("census/vertices").add(n as u64);
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     if workers <= 1 || n < PARALLEL_MIN_NODES {
@@ -367,13 +367,22 @@ where
     }
     obs::gauge("census/workers").set(workers as i64);
     let chunk = n.div_ceil(workers);
+    let parent_path = obs::current_span_path();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
                 let f = &f;
+                let parent_path = &parent_path;
                 scope.spawn(move || {
+                    // inherit the parent span path: the fan-out renders as
+                    // parallel tracks under census/<name> in traces
+                    let _adopt = obs::adopt_span_path(parent_path);
+                    let _s = obs::span_with(
+                        "worker",
+                        &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
+                    );
                     let mut scratch = NbhdScratch::new();
                     (lo..hi).map(|v| f(&mut scratch, v)).collect::<Vec<_>>()
                 })

@@ -375,6 +375,9 @@ impl<'g> ViewCache<'g> {
             if self.levels.len() <= r { Some(obs::span("view_cache/refine")) } else { None };
         while self.levels.len() <= r {
             let depth = self.levels.len();
+            // one refinement round = one radius step of the paper's
+            // r-round view collection; the round number is the depth
+            let mut round_span = obs::span_with("round", &[("round", depth as i64)]);
             if depth == 0 {
                 // one class: every radius-0 view is the bare root
                 self.levels.push(vec![0; n_states]);
@@ -401,6 +404,8 @@ impl<'g> ViewCache<'g> {
             self.stats.depth = depth;
             self.obs_states.add(n_states as u64);
             self.obs_classes.set(k as i64);
+            round_span.arg("classes", k as i64);
+            round_span.arg("states", n_states as i64);
         }
     }
 
@@ -425,12 +430,21 @@ impl<'g> ViewCache<'g> {
         self.obs_workers.set(workers as i64);
         let chunk = n_states.div_ceil(workers);
         let this = &*self;
+        let parent_path = obs::current_span_path();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n_states);
+                    let parent_path = &parent_path;
                     scope.spawn(move || {
+                        // inherit the parent span path so the sweep shows
+                        // as parallel tracks under the same ancestry
+                        let _adopt = obs::adopt_span_path(parent_path);
+                        let _s = obs::span_with(
+                            "worker",
+                            &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
+                        );
                         let mut sig = Vec::new();
                         (lo..hi)
                             .map(|s| {
@@ -456,10 +470,22 @@ impl<'g> ViewCache<'g> {
         if let Some(t) = &self.trees[depth][class as usize] {
             self.stats.tree_hits += 1;
             self.obs_tree_hits.inc();
+            if obs::trace::enabled() {
+                obs::trace::instant(
+                    "view_cache/tree_hit",
+                    &[("depth", depth as i64), ("class", class as i64)],
+                );
+            }
             return t.clone();
         }
         self.stats.tree_misses += 1;
         self.obs_tree_misses.inc();
+        if obs::trace::enabled() {
+            obs::trace::instant(
+                "view_cache/tree_miss",
+                &[("depth", depth as i64), ("class", class as i64)],
+            );
+        }
         let node = if depth == 0 {
             ViewNode::leaf()
         } else {

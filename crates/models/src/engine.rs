@@ -112,6 +112,32 @@ impl EngineObs {
     }
 }
 
+/// Emits one trace instant summarising a run's cache effectiveness
+/// (individual misses are emitted inline by [`trace_miss`]; hits are too
+/// frequent to trace per-vertex and appear here in aggregate).
+fn trace_dedup(name: &str, vertices: usize, classes: usize, evals: u64, hits: u64) {
+    if obs::trace::enabled() {
+        obs::trace::instant(
+            name,
+            &[
+                ("vertices", vertices as i64),
+                ("classes", classes as i64),
+                ("evals", evals as i64),
+                ("hits", hits as i64),
+            ],
+        );
+    }
+}
+
+/// Emits a per-class cache-miss instant (the first vertex of each class
+/// reaching the algorithm); no-op when tracing is off.
+#[inline]
+fn trace_miss(name: &str, node: usize, class: i64) {
+    if obs::trace::enabled() {
+        obs::trace::instant(name, &[("node", node as i64), ("class", class)]);
+    }
+}
+
 /// The PO-model engine: a per-graph cache of view classes with
 /// evaluate-once-per-class algorithm runs. See the module docs.
 pub struct ViewEngine<'g> {
@@ -162,7 +188,7 @@ impl<'g> ViewEngine<'g> {
         let mut outputs: Vec<Option<bool>> = vec![None; k];
         let mut out = Vec::with_capacity(classes.len());
         let (mut evals, mut hits) = (0u64, 0u64);
-        for &c in &classes {
+        for (v, &c) in classes.iter().enumerate() {
             let bit = match outputs[c as usize] {
                 Some(b) => {
                     hits += 1;
@@ -170,6 +196,7 @@ impl<'g> ViewEngine<'g> {
                 }
                 None => {
                     evals += 1;
+                    trace_miss("engine/po/miss", v, c as i64);
                     let b = algo.evaluate(&self.cache.class_view(r, c));
                     outputs[c as usize] = Some(b);
                     b
@@ -184,6 +211,7 @@ impl<'g> ViewEngine<'g> {
         // walk states, which never reach the algorithm)
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
         self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
+        trace_dedup("engine/po/dedup", classes.len(), self.run_stats.classes, evals, hits);
         let _ = k;
         out
     }
@@ -202,6 +230,7 @@ impl<'g> ViewEngine<'g> {
         for (v, &c) in classes.iter().enumerate() {
             if outputs[c as usize].is_none() {
                 evals += 1;
+                trace_miss("engine/po/miss", v, c as i64);
                 outputs[c as usize] = Some(algo.evaluate(&self.cache.class_view(r, c)));
             } else {
                 hits += 1;
@@ -227,6 +256,7 @@ impl<'g> ViewEngine<'g> {
         self.run_stats.hits += hits;
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
         self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
+        trace_dedup("engine/po/dedup", classes.len(), self.run_stats.classes, evals, hits);
         let _ = k;
         out
     }
@@ -283,6 +313,7 @@ impl<'g> OiEngine<'g> {
                     }
                     None => {
                         evals += 1;
+                        trace_miss("engine/oi/miss", v, memo.len() as i64);
                         let b = algo.evaluate(&t);
                         memo.insert(t, b);
                         b
@@ -295,6 +326,7 @@ impl<'g> OiEngine<'g> {
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
         self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
+        trace_dedup("engine/oi/dedup", self.g.node_count(), memo.len(), evals, hits);
         out
     }
 
@@ -316,6 +348,7 @@ impl<'g> OiEngine<'g> {
                 }
                 None => {
                     evals += 1;
+                    trace_miss("engine/oi/miss", v, memo.len() as i64);
                     let b = algo.evaluate(&t);
                     memo.insert(t, b.clone());
                     b
@@ -335,6 +368,7 @@ impl<'g> OiEngine<'g> {
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
         self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
+        trace_dedup("engine/oi/dedup", self.g.node_count(), memo.len(), evals, hits);
         out
     }
 }
@@ -392,6 +426,7 @@ impl<'g> IdEngine<'g> {
                     }
                     None => {
                         evals += 1;
+                        trace_miss("engine/id/miss", v, memo.len() as i64);
                         let b = algo.evaluate(&t);
                         memo.insert(t, b);
                         b
@@ -404,6 +439,7 @@ impl<'g> IdEngine<'g> {
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
         self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
+        trace_dedup("engine/id/dedup", self.g.node_count(), memo.len(), evals, hits);
         out
     }
 
@@ -424,6 +460,7 @@ impl<'g> IdEngine<'g> {
                 }
                 None => {
                     evals += 1;
+                    trace_miss("engine/id/miss", v, memo.len() as i64);
                     let b = algo.evaluate(&t);
                     memo.insert(t, b.clone());
                     b
@@ -443,6 +480,7 @@ impl<'g> IdEngine<'g> {
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
         self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
+        trace_dedup("engine/id/dedup", self.g.node_count(), memo.len(), evals, hits);
         out
     }
 }

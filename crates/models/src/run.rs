@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use locap_graph::canon::{id_nbhd, ordered_nbhd};
 use locap_graph::{Edge, Graph, LDigraph};
 use locap_lifts::{view, Letter};
+use locap_obs as obs;
 
 use crate::engine::{IdEngine, OiEngine, ViewEngine};
 use crate::{
@@ -25,6 +26,7 @@ use crate::{
 /// is `O(|ball|)` and each distinct neighbourhood is evaluated once. The
 /// reference path survives as [`id_vertex_naive`].
 pub fn id_vertex<A: IdVertexAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> Vec<bool> {
+    let _s = obs::span_with("run/id_vertex", &[("nodes", g.node_count() as i64)]);
     IdEngine::new(g, ids).run_vertex(algo)
 }
 
@@ -40,6 +42,7 @@ pub fn id_vertex_naive<A: IdVertexAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -
 /// type is evaluated once and broadcast. The reference path survives as
 /// [`oi_vertex_naive`].
 pub fn oi_vertex<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> Vec<bool> {
+    let _s = obs::span_with("run/oi_vertex", &[("nodes", g.node_count() as i64)]);
     OiEngine::new(g, rank).run_vertex(algo)
 }
 
@@ -58,6 +61,7 @@ pub fn oi_vertex_naive<A: OiVertexAlgorithm>(g: &Graph, rank: &[usize], algo: &A
 /// the algorithm is evaluated once per class. The reference path survives
 /// as [`po_vertex_naive`].
 pub fn po_vertex<A: PoVertexAlgorithm>(d: &LDigraph, algo: &A) -> Vec<bool> {
+    let _s = obs::span_with("run/po_vertex", &[("nodes", d.node_count() as i64)]);
     ViewEngine::new(d).run_vertex(algo)
 }
 
@@ -93,6 +97,7 @@ pub fn agreement(a: &[bool], b: &[bool]) -> f64 {
 ///
 /// Panics if an output vector has the wrong length.
 pub fn id_edge<A: IdEdgeAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> BTreeSet<Edge> {
+    let _s = obs::span_with("run/id_edge", &[("nodes", g.node_count() as i64)]);
     IdEngine::new(g, ids).run_edge(algo)
 }
 
@@ -127,6 +132,7 @@ pub fn id_edge_naive<A: IdEdgeAlgorithm>(g: &Graph, ids: &[u64], algo: &A) -> BT
 ///
 /// Panics if an output vector has the wrong length.
 pub fn oi_edge<A: OiEdgeAlgorithm>(g: &Graph, rank: &[usize], algo: &A) -> BTreeSet<Edge> {
+    let _s = obs::span_with("run/oi_edge", &[("nodes", g.node_count() as i64)]);
     OiEngine::new(g, rank).run_edge(algo)
 }
 
@@ -158,6 +164,7 @@ pub fn oi_edge_naive<A: OiEdgeAlgorithm>(g: &Graph, rank: &[usize], algo: &A) ->
 ///
 /// Engine-backed; [`po_edge_naive`] is the reference path.
 pub fn po_edge<A: PoEdgeAlgorithm>(d: &LDigraph, algo: &A) -> BTreeSet<Edge> {
+    let _s = obs::span_with("run/po_edge", &[("nodes", d.node_count() as i64)]);
     ViewEngine::new(d).run_edge(algo)
 }
 

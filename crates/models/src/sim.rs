@@ -13,6 +13,7 @@
 //! stops when every node has halted or after `max_rounds`.
 
 use locap_graph::{Graph, Orientation, PortNumbering};
+use locap_obs as obs;
 
 /// Per-node static context available at initialisation.
 #[derive(Debug, Clone)]
@@ -113,11 +114,15 @@ pub fn run_sync_with_inputs<A: SyncAlgorithm>(
     // inboxes[v][i] = message waiting at v's port i
     let mut inboxes: Vec<Vec<Option<A::Msg>>> = (0..n).map(|v| vec![None; g.degree(v)]).collect();
     let mut rounds = 0;
+    let mut run_span = obs::span_with("sim/run", &[("nodes", n as i64)]);
+    let msgs_total = obs::counter("sim/messages");
     for round in 0..max_rounds {
         if states.iter().all(|s| algo.halted(s)) {
             break;
         }
         rounds = round + 1;
+        let mut round_span = obs::span_with("sim/round", &[("round", round as i64)]);
+        let mut messages = 0u64;
         let mut next_inboxes: Vec<Vec<Option<A::Msg>>> =
             (0..n).map(|v| vec![None; g.degree(v)]).collect();
         for v in 0..n {
@@ -129,12 +134,16 @@ pub fn run_sync_with_inputs<A: SyncAlgorithm>(
                     let u = ports.neighbor(v, i).expect("port in range");
                     let back = ports.port_to(u, v).expect("reverse port exists");
                     next_inboxes[u][back] = Some(m);
+                    messages += 1;
                 }
             }
         }
         inboxes = next_inboxes;
+        msgs_total.add(messages);
+        round_span.arg("messages", messages as i64);
     }
     let all_halted = states.iter().all(|s| algo.halted(s));
+    run_span.arg("rounds", rounds as i64);
     SimResult { states, rounds, all_halted }
 }
 

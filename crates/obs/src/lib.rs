@@ -27,14 +27,23 @@
 //! when they are not. Hot loops should hoist handles ([`counter`] returns
 //! a cheap clone) — the workspace's instrumentation points all sit at run
 //! boundaries, not inner loops.
+//!
+//! On top of the aggregates, the [`trace`] module records *individual*
+//! events — every span, instant marker and counter sample, timestamped
+//! and thread-tagged — into bounded per-thread ring buffers, exported as
+//! Chrome trace-event JSON and collapsed flamegraph stacks. It is off
+//! unless `OBS_TRACE` is set and costs one relaxed atomic load per probe
+//! when off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -319,46 +328,189 @@ pub fn reset() {
     global().reset();
 }
 
+/// One open guard on a thread's span stack.
+#[derive(Debug, Clone, Copy)]
+struct SpanEntry {
+    /// Unique (per thread) identity of the guard that pushed this entry.
+    token: u64,
+    /// Length of the thread path including this entry's segment.
+    end: usize,
+}
+
+/// A thread's nested span state: the composed path string plus one entry
+/// per open guard. Guards carry a token instead of a raw truncation
+/// length, so dropping them out of LIFO order (e.g. via `mem::drop`
+/// reordering) still records each span under the path it was *opened*
+/// with and still unwinds the path fully once all guards are gone.
+#[derive(Debug)]
+struct SpanStack {
+    path: String,
+    entries: Vec<SpanEntry>,
+    next_token: u64,
+}
+
+impl SpanStack {
+    const fn new() -> SpanStack {
+        SpanStack { path: String::new(), entries: Vec::new(), next_token: 0 }
+    }
+
+    /// Pushes `name` (or a full adopted path) and returns its token.
+    fn push(&mut self, name: &str) -> u64 {
+        if !self.path.is_empty() {
+            self.path.push('/');
+        }
+        self.path.push_str(name);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.entries.push(SpanEntry { token, end: self.path.len() });
+        token
+    }
+
+    /// Removes the entry for `token`, returning the length of the path as
+    /// it was when that entry was opened (i.e. including its segment).
+    /// Trailing segments whose guards are all gone are shed from `path`.
+    fn pop(&mut self, token: u64) -> Option<usize> {
+        let idx = self.entries.iter().rposition(|e| e.token == token)?;
+        let end = self.entries[idx].end;
+        self.entries.remove(idx);
+        if idx == self.entries.len() {
+            // Removed the top guard: the path can shrink to the deepest
+            // still-open entry, which also sheds any dangling segments of
+            // guards below that were dropped out of order earlier.
+            let keep = self.entries.last().map_or(0, |e| e.end);
+            self.path.truncate(keep);
+        }
+        Some(end)
+    }
+}
+
 thread_local! {
-    /// The current span path of this thread ("" at top level).
-    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+    /// The current span stack of this thread (empty at top level).
+    static SPAN_STACK: RefCell<SpanStack> = const { RefCell::new(SpanStack::new()) };
 }
 
 /// An RAII scoped timer: the elapsed time between construction and drop is
-/// recorded in the global registry under the thread's nested span path.
+/// recorded in the global registry under the thread's nested span path,
+/// and — when [`trace`] collection is on — emitted as a timeline event
+/// with the span's structured args.
 ///
-/// Guards must drop in LIFO order (the natural scoping); a span opened
-/// inside another records under `outer/inner`.
+/// A span opened inside another records under `outer/inner`. Guards
+/// normally drop in LIFO order (natural scoping), but out-of-order drops
+/// are safe: each guard records under the path that was current when it
+/// was *opened*, and the path unwinds fully once every guard is gone.
+/// Guards are not `Send`; they must drop on the thread that opened them.
 #[must_use = "a span records on drop; binding to _ drops it immediately"]
 #[derive(Debug)]
 pub struct Span {
-    /// Length of the thread path before this span was pushed.
-    truncate_to: usize,
+    token: u64,
     start: Instant,
+    args: [(&'static str, i64); trace::MAX_ARGS],
+    n_args: u8,
+    /// Spans are tied to the thread-local stack they were opened on.
+    _not_send: PhantomData<*const ()>,
 }
 
 /// Opens a scoped timer on the global registry. See [`Span`].
 pub fn span(name: &str) -> Span {
-    let truncate_to = SPAN_PATH.with(|p| {
-        let mut p = p.borrow_mut();
-        let before = p.len();
-        if !p.is_empty() {
-            p.push('/');
+    span_with(name, &[])
+}
+
+/// Opens a scoped timer carrying structured args (visible in trace
+/// exports; at most [`trace::MAX_ARGS`] are kept). See [`Span`].
+pub fn span_with(name: &str, args: &[(&'static str, i64)]) -> Span {
+    let token = SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    let mut packed = [("", 0i64); trace::MAX_ARGS];
+    let n = args.len().min(trace::MAX_ARGS);
+    packed[..n].copy_from_slice(&args[..n]);
+    Span { token, start: Instant::now(), args: packed, n_args: n as u8, _not_send: PhantomData }
+}
+
+impl Span {
+    /// Sets a structured arg on the span (for values only known at scope
+    /// end, e.g. a per-round message count). Updates an existing key or
+    /// appends; silently dropped beyond [`trace::MAX_ARGS`] keys.
+    pub fn arg(&mut self, key: &'static str, value: i64) {
+        for slot in self.args[..self.n_args as usize].iter_mut() {
+            if slot.0 == key {
+                slot.1 = value;
+                return;
+            }
         }
-        p.push_str(name);
-        before
-    });
-    Span { truncate_to, start: Instant::now() }
+        if (self.n_args as usize) < trace::MAX_ARGS {
+            self.args[self.n_args as usize] = (key, value);
+            self.n_args += 1;
+        }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        SPAN_PATH.with(|p| {
-            let mut p = p.borrow_mut();
-            global().record_span_ns(&p, ns);
-            p.truncate(self.truncate_to);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let stack = &mut *stack;
+            let Some(idx) = stack.entries.iter().rposition(|e| e.token == self.token) else {
+                debug_assert!(false, "span guard dropped off its thread's stack");
+                return;
+            };
+            // Record under the path as it was when this guard was opened
+            // (its entry's end), which is exact even if sibling guards
+            // were dropped out of LIFO order in between.
+            let end = stack.entries[idx].end;
+            let path = &stack.path[..end];
+            global().record_span_ns(path, ns);
+            if trace::enabled() {
+                let args = &self.args[..self.n_args as usize];
+                trace::record_span(path, trace::ts_of(self.start), ns, args);
+            }
+            stack.entries.remove(idx);
+            if idx == stack.entries.len() {
+                // Removed the top guard: shrink to the deepest still-open
+                // entry, shedding dangling segments of any guards below
+                // that were already dropped out of order.
+                let keep = stack.entries.last().map_or(0, |e| e.end);
+                stack.path.truncate(keep);
+            }
         });
+    }
+}
+
+/// Restores the original (usually empty) span path on drop; returned by
+/// [`adopt_span_path`]. Records nothing itself.
+#[derive(Debug)]
+pub struct PathAdoption {
+    token: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// The calling thread's current composed span path ("" at top level).
+/// Capture in a parent thread and pass to [`adopt_span_path`] in scoped
+/// workers so their spans nest under the parent's path (and show as
+/// parallel tracks under the same ancestry in traces).
+pub fn current_span_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().path.clone())
+}
+
+/// Pushes `path` as the base of this thread's span path without starting
+/// a timer; spans opened while the guard lives record under `path/...`.
+/// Intended for worker threads whose span stack is empty. Empty `path`
+/// is a no-op base.
+pub fn adopt_span_path(path: &str) -> PathAdoption {
+    let token = SPAN_STACK.with(|s| s.borrow_mut().push(path));
+    PathAdoption { token, _not_send: PhantomData }
+}
+
+impl Drop for PathAdoption {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let popped = s.borrow_mut().pop(self.token);
+            debug_assert!(popped.is_some(), "path adoption dropped off its thread's stack");
+        });
+        if trace::enabled() {
+            // deliver this worker's events before the parent's scope join
+            // observes completion (thread-local destructors run later)
+            trace::flush_thread();
+        }
     }
 }
 

@@ -1,0 +1,178 @@
+//! Property tests for the snapshot JSON transport: `Snapshot::to_json` →
+//! `Snapshot::from_json` must reproduce every counter, gauge and span
+//! statistic exactly, including metric names that need string escaping,
+//! extreme counter values, and empty registries. Plus a rejection-case
+//! table for [`locap_obs::validate_bench_schema`].
+//!
+//! Precision note: the JSON transport carries numbers as `f64`, so
+//! integers round-trip exactly up to 2^53. The generators therefore mask
+//! bulk values to 53 bits and cover the extremes (`u64::MAX`,
+//! `i64::MIN`, `i64::MAX`) explicitly — those survive because the f64
+//! conversion lands exactly on a representable power of two and the
+//! narrowing cast saturates back to the original.
+
+use locap_obs::json::Json;
+use locap_obs::{HistStats, Snapshot};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Characters metric names are built from — ASCII plus everything the
+/// escaper must handle: quotes, backslashes, control chars, non-ASCII,
+/// and the path separator.
+const NAME_PALETTE: &[char] =
+    &['a', 'Z', '9', '_', '/', ' ', '"', '\\', '\n', '\t', '\u{7f}', 'é', '∆', '🔥'];
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..NAME_PALETTE.len(), 1usize..12)
+        .prop_map(|ix| ix.into_iter().map(|i| NAME_PALETTE[i]).collect())
+}
+
+/// Counter values: mostly 53-bit-exact, with `u64::MAX` and 0 forced in.
+fn counter_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u8..8).prop_map(|(v, pick)| match pick {
+        0 => u64::MAX,
+        1 => 0,
+        _ => v & ((1u64 << 53) - 1),
+    })
+}
+
+/// Gauge values: mostly 53-bit-exact magnitudes, extremes forced in.
+fn gauge_value() -> impl Strategy<Value = i64> {
+    (any::<i64>(), 0u8..8).prop_map(|(v, pick)| match pick {
+        0 => i64::MIN,
+        1 => i64::MAX,
+        2 => 0,
+        _ => v % (1i64 << 53),
+    })
+}
+
+fn hist_stats() -> impl Strategy<Value = HistStats> {
+    // span stats stay within 53 bits (the f64-exact integer range); the
+    // u64::MAX extreme is covered by `u64_max_counter_round_trips`
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(count, a, b)| {
+        let m = (1u64 << 53) - 1;
+        let (count, a, b) = (count & m, a & m, b & m);
+        let (lo, hi) = (a.min(b), a.max(b));
+        // internally consistent stats: min <= p50 <= max
+        HistStats { count, total_ns: hi, min_ns: lo, max_ns: hi, p50_ns: lo + (hi - lo) / 2 }
+    })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec((name_strategy(), counter_value()), 0usize..6),
+        prop::collection::vec((name_strategy(), gauge_value()), 0usize..6),
+        prop::collection::vec((name_strategy(), hist_stats()), 0usize..6),
+    )
+        .prop_map(|(counters, gauges, spans)| Snapshot {
+            counters: counters.into_iter().collect::<BTreeMap<_, _>>(),
+            gauges: gauges.into_iter().collect::<BTreeMap<_, _>>(),
+            spans: spans.into_iter().collect::<BTreeMap<_, _>>(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_json_round_trips_exactly(snap in snapshot_strategy()) {
+        let text = snap.to_json("roundtrip_prop");
+        prop_assert_eq!(text.lines().count(), 1, "single-line export");
+        let doc = Json::parse(&text).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        locap_obs::validate_bench_schema(&doc).map_err(TestCaseError::fail)?;
+        let (source, back) = Snapshot::from_json(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(source.as_str(), "roundtrip_prop");
+        prop_assert_eq!(&back.counters, &snap.counters);
+        prop_assert_eq!(&back.gauges, &snap.gauges);
+        prop_assert_eq!(&back.spans, &snap.spans);
+    }
+
+    #[test]
+    fn escaped_names_survive_reparse(name in name_strategy(), v in counter_value()) {
+        let mut snap = Snapshot::default();
+        snap.counters.insert(name.clone(), v);
+        let (_, back) = Snapshot::from_json(&snap.to_json("esc"))
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back.counters.get(&name).copied(), Some(v), "name {:?}", name);
+    }
+}
+
+#[test]
+fn empty_snapshot_round_trips() {
+    let snap = Snapshot::default();
+    let text = snap.to_json("empty");
+    let (source, back) = Snapshot::from_json(&text).expect("empty round-trip");
+    assert_eq!(source, "empty");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn u64_max_counter_round_trips() {
+    let mut snap = Snapshot::default();
+    snap.counters.insert("max".into(), u64::MAX);
+    snap.gauges.insert("min".into(), i64::MIN);
+    snap.gauges.insert("max".into(), i64::MAX);
+    snap.spans.insert(
+        "saturated".into(),
+        HistStats {
+            count: u64::MAX,
+            total_ns: u64::MAX,
+            min_ns: u64::MAX,
+            max_ns: u64::MAX,
+            p50_ns: u64::MAX,
+        },
+    );
+    let (_, back) = Snapshot::from_json(&snap.to_json("extremes")).expect("parse");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn validate_bench_schema_rejection_table() {
+    // (document, expected error substring)
+    let cases: &[(&str, &str)] = &[
+        (r#"{"results":[]}"#, "missing schema number"),
+        (r#"{"schema":"2","results":[]}"#, "missing schema number"),
+        (r#"{"schema":0,"results":[]}"#, "unsupported schema 0"),
+        (r#"{"schema":99,"results":[]}"#, "unsupported schema 99"),
+        (r#"{"schema":2}"#, "missing results array"),
+        (r#"{"schema":2,"results":7}"#, "results is not an array"),
+        (r#"{"schema":2,"counters":[],"results":[]}"#, "counters is not an object"),
+        (r#"{"schema":2,"gauges":3,"results":[]}"#, "gauges is not an object"),
+        (r#"{"schema":2,"counters":{"c":"x"},"results":[]}"#, "counters/c is not an integer"),
+        (r#"{"schema":2,"counters":{"c":1.5},"results":[]}"#, "counters/c is not an integer"),
+        (
+            r#"{"schema":2,"results":[{"name":"n","median_ns":1,"min_ns":1,"samples":1}]}"#,
+            "results[0] missing string bench",
+        ),
+        (
+            r#"{"schema":2,"results":[{"bench":"b","median_ns":1,"min_ns":1,"samples":1}]}"#,
+            "results[0] missing string name",
+        ),
+        (
+            r#"{"schema":2,"results":[{"bench":"b","name":"n","min_ns":1,"samples":1}]}"#,
+            "results[0] missing integer median_ns",
+        ),
+        (
+            r#"{"schema":2,"results":[{"bench":"b","name":"n","median_ns":-1,"min_ns":1,"samples":1}]}"#,
+            "results[0] missing integer median_ns",
+        ),
+        (
+            r#"{"schema":2,"results":[{"bench":"b","name":"n","median_ns":1,"min_ns":1}]}"#,
+            "results[0] missing integer samples",
+        ),
+        (
+            r#"{"schema":2,"results":[{},{"bench":"b","name":"n","median_ns":1,"min_ns":1,"samples":1}]}"#,
+            "results[0] missing string bench",
+        ),
+    ];
+    for (text, want) in cases {
+        let doc = Json::parse(text).expect("table documents are syntactically valid JSON");
+        let err = locap_obs::validate_bench_schema(&doc)
+            .expect_err(&format!("{text} should be rejected"));
+        assert!(err.contains(want), "for {text}: got {err:?}, want substring {want:?}");
+    }
+    // and the happy path next to the table, for contrast
+    let ok = r#"{"schema":2,"counters":{"c":1},"gauges":{"g":-2},
+        "results":[{"bench":"b","name":"n","median_ns":1,"min_ns":1,"samples":1}]}"#;
+    locap_obs::validate_bench_schema(&Json::parse(ok).unwrap()).expect("valid document accepted");
+}
