@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 
 use locap_graph::{gen, Graph, NodeId, Orientation, PortNumbering};
 use locap_models::sim::{run_sync, run_sync_with_inputs, NodeCtx, SyncAlgorithm};
+use locap_models::RunError;
 
 /// One Cole–Vishkin step: the new colour of a node with colour `own` whose
 /// predecessor has colour `pred` (`own != pred`).
@@ -63,18 +64,25 @@ impl SyncAlgorithm for ColorReduce {
     type State = CrState;
     type Msg = u64;
 
-    fn init(&self, ctx: &NodeCtx) -> CrState {
-        let port_out = ctx.port_out.as_ref().expect("ColorReduce needs an orientation");
-        assert_eq!(ctx.degree, 2, "ColorReduce runs on cycles");
-        let succ_port = port_out.iter().position(|&b| b).expect("one outgoing edge");
-        let pred_port = port_out.iter().position(|&b| !b).expect("one incoming edge");
-        CrState {
-            color: ctx.id.expect("ColorReduce needs identifiers"),
-            step: 0,
-            total: self.rounds,
-            pred_port,
-            succ_port,
+    fn init(&self, ctx: &NodeCtx) -> Result<CrState, RunError> {
+        let color = ctx.require_id()?;
+        let port_out = ctx.require_port_out()?;
+        if ctx.degree != 2 {
+            return Err(RunError::Unsupported {
+                reason: format!("ColorReduce runs on cycles; found a degree-{} node", ctx.degree),
+            }
+            .publish());
         }
+        let (succ, pred) = (port_out.iter().position(|&b| b), port_out.iter().position(|&b| !b));
+        let (Some(succ_port), Some(pred_port)) = (succ, pred) else {
+            return Err(RunError::Unsupported {
+                reason: "ColorReduce needs a consistent cycle orientation \
+                         (one incoming and one outgoing edge per node)"
+                    .to_string(),
+            }
+            .publish());
+        };
+        Ok(CrState { color, step: 0, total: self.rounds, pred_port, succ_port })
     }
 
     fn round(
@@ -100,21 +108,30 @@ impl SyncAlgorithm for ColorReduce {
 }
 
 /// Runs `rounds` CV steps on the cycle; returns the colours.
-pub fn color_reduce(g: &Graph, ids: &[u64], rounds: usize) -> Vec<u64> {
+///
+/// # Errors
+///
+/// Propagates the simulator's [`RunError`] — in practice only for
+/// malformed inputs (short `ids`, non-cycle graphs).
+pub fn color_reduce(g: &Graph, ids: &[u64], rounds: usize) -> Result<Vec<u64>, RunError> {
     let ports = PortNumbering::sorted(g);
     let orient = cycle_orientation(g);
-    let res = run_sync(g, &ports, Some(ids), Some(&orient), &ColorReduce { rounds }, rounds + 2);
-    assert!(res.all_halted);
-    res.states.into_iter().map(|s| s.color).collect()
+    let res = run_sync(g, &ports, Some(ids), Some(&orient), &ColorReduce { rounds }, rounds + 2)?;
+    debug_assert!(res.all_halted);
+    Ok(res.states.into_iter().map(|s| s.color).collect())
 }
 
 /// The number of CV steps needed to bring all colours below 6 — the
 /// measured log*-like quantity.
-pub fn rounds_to_six_colors(g: &Graph, ids: &[u64]) -> usize {
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from [`color_reduce`].
+pub fn rounds_to_six_colors(g: &Graph, ids: &[u64]) -> Result<usize, RunError> {
     for rounds in 0..64 {
-        let colors = color_reduce(g, ids, rounds);
+        let colors = color_reduce(g, ids, rounds)?;
         if colors.iter().all(|&c| c < 6) {
-            return rounds;
+            return Ok(rounds);
         }
     }
     unreachable!("colour reduction from 64-bit identifiers needs < 64 rounds")
@@ -136,8 +153,8 @@ impl SyncAlgorithm for SixToThree {
     type State = S23State;
     type Msg = u64;
 
-    fn init(&self, ctx: &NodeCtx) -> S23State {
-        S23State { color: ctx.input.expect("SixToThree needs input colours"), step: 0 }
+    fn init(&self, ctx: &NodeCtx) -> Result<S23State, RunError> {
+        Ok(S23State { color: ctx.require_input()?, step: 0 })
     }
 
     fn round(
@@ -187,13 +204,8 @@ impl SyncAlgorithm for MisFromColors {
     type State = MisState;
     type Msg = bool;
 
-    fn init(&self, ctx: &NodeCtx) -> MisState {
-        MisState {
-            color: ctx.input.expect("MisFromColors needs colours"),
-            in_mis: false,
-            blocked: false,
-            step: 0,
-        }
+    fn init(&self, ctx: &NodeCtx) -> Result<MisState, RunError> {
+        Ok(MisState { color: ctx.require_input()?, in_mis: false, blocked: false, step: 0 })
     }
 
     fn round(
@@ -238,33 +250,43 @@ pub struct CycleMis {
 /// Runs the full pipeline (colour reduction → 3-colouring → MIS) on the
 /// cycle `0–1–…–(n−1)–0` with the given identifiers.
 ///
+/// # Errors
+///
+/// [`RunError::Unsupported`] when `g` is not a cycle on ≥ 3 nodes;
+/// otherwise propagates the simulator's errors (e.g. short `ids`).
+///
 /// # Panics
 ///
-/// Panics if `g` is not a cycle on ≥ 3 nodes or identifiers repeat.
-pub fn cycle_mis(g: &Graph, ids: &[u64]) -> CycleMis {
-    assert!(g.is_regular(2) && g.is_connected(), "cycle required");
+/// Panics if identifiers repeat (the CV invariant `own != pred` breaks).
+pub fn cycle_mis(g: &Graph, ids: &[u64]) -> Result<CycleMis, RunError> {
+    if !(g.is_regular(2) && g.is_connected()) {
+        return Err(RunError::Unsupported {
+            reason: "cycle_mis requires a connected 2-regular graph".to_string(),
+        }
+        .publish());
+    }
     let ports = PortNumbering::sorted(g);
 
-    let reduction_rounds = rounds_to_six_colors(g, ids);
-    let colors = color_reduce(g, ids, reduction_rounds);
+    let reduction_rounds = rounds_to_six_colors(g, ids)?;
+    let colors = color_reduce(g, ids, reduction_rounds)?;
     assert_proper(g, &colors);
 
-    let res = run_sync_with_inputs(g, &ports, None, None, Some(&colors), &SixToThree, 10);
-    assert!(res.all_halted);
+    let res = run_sync_with_inputs(g, &ports, None, None, Some(&colors), &SixToThree, 10)?;
+    debug_assert!(res.all_halted);
     let colors3: Vec<u64> = res.states.iter().map(|s| s.color).collect();
     assert!(colors3.iter().all(|&c| c < 3));
     assert_proper(g, &colors3);
     let r2 = res.rounds;
 
-    let res = run_sync_with_inputs(g, &ports, None, None, Some(&colors3), &MisFromColors, 10);
-    assert!(res.all_halted);
+    let res = run_sync_with_inputs(g, &ports, None, None, Some(&colors3), &MisFromColors, 10)?;
+    debug_assert!(res.all_halted);
     let mis: BTreeSet<NodeId> = res
         .states
         .iter()
         .enumerate()
         .filter_map(|(v, s)| s.in_mis.then_some(v))
         .collect();
-    CycleMis { mis, reduction_rounds, total_rounds: reduction_rounds + r2 + res.rounds }
+    Ok(CycleMis { mis, reduction_rounds, total_rounds: reduction_rounds + r2 + res.rounds })
 }
 
 fn assert_proper(g: &Graph, colors: &[u64]) {
@@ -275,7 +297,11 @@ fn assert_proper(g: &Graph, colors: &[u64]) {
 
 /// Convenience: MIS on the `n`-cycle with identifiers `ids` (defaults to a
 /// scrambled-but-deterministic assignment when `None`).
-pub fn cycle_mis_n(n: usize, ids: Option<Vec<u64>>) -> CycleMis {
+///
+/// # Errors
+///
+/// Same conditions as [`cycle_mis`].
+pub fn cycle_mis_n(n: usize, ids: Option<Vec<u64>>) -> Result<CycleMis, RunError> {
     let g = gen::cycle(n);
     let ids = ids.unwrap_or_else(|| {
         (0..n as u64)
@@ -318,7 +344,7 @@ mod tests {
     #[test]
     fn full_pipeline_produces_mis() {
         for n in [3usize, 4, 5, 8, 13, 32, 100] {
-            let out = cycle_mis_n(n, None);
+            let out = cycle_mis_n(n, None).unwrap();
             let g = gen::cycle(n);
             // independent
             let set = out.mis.clone();
@@ -338,8 +364,8 @@ mod tests {
     fn reduction_rounds_grow_slowly() {
         // log*-like growth: even with 64-bit identifiers the reduction takes
         // at most 5 steps, and small cycles need no more than large ones + 2.
-        let small = cycle_mis_n(8, None).reduction_rounds;
-        let large = cycle_mis_n(512, None).reduction_rounds;
+        let small = cycle_mis_n(8, None).unwrap().reduction_rounds;
+        let large = cycle_mis_n(512, None).unwrap().reduction_rounds;
         assert!(small <= 5, "small: {small}");
         assert!(large <= 5, "large: {large}");
     }
@@ -349,9 +375,9 @@ mod tests {
         // ids 1..n differ in low bits: still proper after 1-2 rounds.
         let g = gen::cycle(10);
         let ids: Vec<u64> = (1..=10).collect();
-        let r = rounds_to_six_colors(&g, &ids);
+        let r = rounds_to_six_colors(&g, &ids).unwrap();
         assert!(r <= 3, "got {r}");
-        let out = cycle_mis(&g, &ids);
+        let out = cycle_mis(&g, &ids).unwrap();
         assert!(independent_set::feasible(&g, &out.mis));
     }
 

@@ -20,6 +20,7 @@ use std::collections::BTreeSet;
 
 use locap_graph::{Edge, Graph, NodeId, PortNumbering};
 use locap_lifts::bipartite_double_cover;
+use locap_models::RunError;
 
 use crate::proposal::maximal_matching_2colored;
 
@@ -57,13 +58,19 @@ pub struct DoubleCoverRun {
 }
 
 /// Runs the double-cover maximal matching and projects the result.
-pub fn double_cover_matching(g: &Graph, ports: &PortNumbering) -> DoubleCoverRun {
+///
+/// # Errors
+///
+/// Propagates the simulator's [`RunError`] (in practice only when the
+/// caller's `ports` are inconsistent with `g`; the double cover itself is
+/// well-formed by construction).
+pub fn double_cover_matching(g: &Graph, ports: &PortNumbering) -> Result<DoubleCoverRun, RunError> {
     let n = g.node_count();
     let h = bipartite_double_cover(g);
     let h_ports = double_cover_ports(g, ports);
     // copy 0 = white (proposers), copy 1 = black
     let colors: Vec<bool> = (0..2 * n).map(|x| x >= n).collect();
-    let res = maximal_matching_2colored(&h, &h_ports, &colors);
+    let res = maximal_matching_2colored(&h, &h_ports, &colors)?;
 
     let mut projected = BTreeSet::new();
     let mut matched_nodes = BTreeSet::new();
@@ -74,19 +81,32 @@ pub fn double_cover_matching(g: &Graph, ports: &PortNumbering) -> DoubleCoverRun
         matched_nodes.insert(u);
         matched_nodes.insert(v);
     }
-    DoubleCoverRun { cover_matching: res.matching, projected, matched_nodes, rounds: res.rounds }
+    Ok(DoubleCoverRun {
+        cover_matching: res.matching,
+        projected,
+        matched_nodes,
+        rounds: res.rounds,
+    })
 }
 
 /// The (4 − 2/Δ′)-approximation of minimum edge dominating set
 /// (Suomela 2010): project a maximal matching of the double cover.
-pub fn eds_double_cover(g: &Graph, ports: &PortNumbering) -> BTreeSet<Edge> {
-    double_cover_matching(g, ports).projected
+///
+/// # Errors
+///
+/// Same conditions as [`double_cover_matching`].
+pub fn eds_double_cover(g: &Graph, ports: &PortNumbering) -> Result<BTreeSet<Edge>, RunError> {
+    Ok(double_cover_matching(g, ports)?.projected)
 }
 
 /// The 3-approximation of minimum vertex cover: nodes matched in either
 /// copy of the double cover.
-pub fn vc_double_cover(g: &Graph, ports: &PortNumbering) -> BTreeSet<NodeId> {
-    double_cover_matching(g, ports).matched_nodes
+///
+/// # Errors
+///
+/// Same conditions as [`double_cover_matching`].
+pub fn vc_double_cover(g: &Graph, ports: &PortNumbering) -> Result<BTreeSet<NodeId>, RunError> {
+    Ok(double_cover_matching(g, ports)?.matched_nodes)
 }
 
 #[cfg(test)]
@@ -122,7 +142,7 @@ mod tests {
         ];
         for (i, g) in suite.iter().enumerate() {
             let ports = PortNumbering::sorted(g);
-            let eds = eds_double_cover(g, &ports);
+            let eds = eds_double_cover(g, &ports).unwrap();
             assert!(edge_dominating_set::feasible(g, &eds), "instance {i}");
             let opt = edge_dominating_set::opt_value(g);
             let ratio = approx_ratio(eds.len(), opt, Goal::Minimize).unwrap();
@@ -140,7 +160,7 @@ mod tests {
             [gen::cycle(7), gen::path(5), gen::petersen(), gen::complete(5), gen::hypercube(3)];
         for (i, g) in suite.iter().enumerate() {
             let ports = PortNumbering::sorted(g);
-            let vc = vc_double_cover(g, &ports);
+            let vc = vc_double_cover(g, &ports).unwrap();
             assert!(vertex_cover::feasible(g, &vc), "instance {i}");
             let opt = vertex_cover::opt_value(g);
             assert!(vc.len() <= 3 * opt, "instance {i}: {} > 3·{}", vc.len(), opt);
@@ -153,7 +173,7 @@ mod tests {
         for &(n, d) in &[(10, 3), (12, 4), (14, 4)] {
             let g = random::random_regular(n, d, 1000, &mut rng).unwrap();
             let ports = random::random_ports(&g, &mut rng);
-            let run = double_cover_matching(&g, &ports);
+            let run = double_cover_matching(&g, &ports).unwrap();
             assert!(edge_dominating_set::feasible(&g, &run.projected), "({n},{d})");
             assert!(vertex_cover::feasible(&g, &run.matched_nodes), "({n},{d})");
             assert!(run.rounds <= 2 * d + 4);
@@ -186,7 +206,7 @@ mod tests {
         // endpoint touched by the projected set.
         let g = gen::cycle(9);
         let ports = PortNumbering::sorted(&g);
-        let run = double_cover_matching(&g, &ports);
+        let run = double_cover_matching(&g, &ports).unwrap();
         for e in g.edges() {
             let dominated = run.projected.iter().any(|m| m.adjacent(&e));
             assert!(dominated, "edge {e:?}");

@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 
 use locap_graph::{Edge, Graph, PortNumbering};
 use locap_models::sim::{run_sync_with_inputs, NodeCtx, SyncAlgorithm};
+use locap_models::RunError;
 
 /// Messages of the proposal algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,16 +43,16 @@ impl SyncAlgorithm for ProposalMatching {
     type State = MatchState;
     type Msg = Msg;
 
-    fn init(&self, ctx: &NodeCtx) -> MatchState {
-        MatchState {
-            black: ctx.input.expect("ProposalMatching needs a 2-colouring") == 1,
+    fn init(&self, ctx: &NodeCtx) -> Result<MatchState, RunError> {
+        Ok(MatchState {
+            black: ctx.require_input()? == 1,
             matched_port: None,
             next_port: 0,
             degree: ctx.degree,
             step: 0,
             // Δ proposal cycles of 2 rounds each, +1 to drain.
             budget: 2 * ctx.degree + 2,
-        }
+        })
     }
 
     fn round(
@@ -104,6 +105,11 @@ pub struct MatchingResult {
 /// `colors[v] = true` marks black nodes; every edge must join a white and
 /// a black node (the graph must be properly 2-coloured).
 ///
+/// # Errors
+///
+/// Propagates the simulator's [`RunError`] for malformed inputs (short
+/// `colors`, ports inconsistent with `g`).
+///
 /// # Panics
 ///
 /// Panics if the colouring is not proper.
@@ -111,25 +117,28 @@ pub fn maximal_matching_2colored(
     g: &Graph,
     ports: &PortNumbering,
     colors: &[bool],
-) -> MatchingResult {
+) -> Result<MatchingResult, RunError> {
     for e in g.edges() {
         assert_ne!(colors[e.u], colors[e.v], "2-colouring must be proper on {e:?}");
     }
     let inputs: Vec<u64> = colors.iter().map(|&b| b as u64).collect();
     let max_rounds = 2 * g.max_degree() + 4;
     let res =
-        run_sync_with_inputs(g, ports, None, None, Some(&inputs), &ProposalMatching, max_rounds);
+        run_sync_with_inputs(g, ports, None, None, Some(&inputs), &ProposalMatching, max_rounds)?;
     let mut matching = BTreeSet::new();
     for (v, s) in res.states.iter().enumerate() {
         if s.black {
             continue;
         }
         if let Some(p) = s.matched_port {
-            let u = ports.neighbor(v, p).expect("matched port exists");
+            let u = ports.neighbor(v, p).ok_or_else(|| {
+                RunError::PortOutOfRange { node: v, port: p, degree: ports.ports(v).len() }
+                    .publish()
+            })?;
             matching.insert(Edge::new(v, u));
         }
     }
-    MatchingResult { matching, rounds: res.rounds }
+    Ok(MatchingResult { matching, rounds: res.rounds })
 }
 
 #[cfg(test)]
@@ -146,7 +155,7 @@ mod tests {
     fn complete_bipartite_perfect_side() {
         let g = gen::complete_bipartite(3, 3);
         let ports = PortNumbering::sorted(&g);
-        let res = maximal_matching_2colored(&g, &ports, &bipartite_colors(3, 3));
+        let res = maximal_matching_2colored(&g, &ports, &bipartite_colors(3, 3)).unwrap();
         assert!(matching::feasible(&g, &res.matching));
         assert!(matching::is_maximal(&g, &res.matching));
         assert_eq!(res.matching.len(), 3, "K33 proposal matching is perfect");
@@ -158,7 +167,7 @@ mod tests {
         let g = gen::cycle(8);
         let colors: Vec<bool> = (0..8).map(|v| v % 2 == 1).collect();
         let ports = PortNumbering::sorted(&g);
-        let res = maximal_matching_2colored(&g, &ports, &colors);
+        let res = maximal_matching_2colored(&g, &ports, &colors).unwrap();
         assert!(matching::is_maximal(&g, &res.matching));
         assert!(res.matching.len() >= 3);
     }
@@ -168,7 +177,7 @@ mod tests {
         let g = gen::star(5);
         let colors: Vec<bool> = (0..6).map(|v| v > 0).collect();
         let ports = PortNumbering::sorted(&g);
-        let res = maximal_matching_2colored(&g, &ports, &colors);
+        let res = maximal_matching_2colored(&g, &ports, &colors).unwrap();
         assert_eq!(res.matching.len(), 1);
         assert!(matching::is_maximal(&g, &res.matching));
     }
@@ -197,7 +206,7 @@ mod tests {
                 }
             }
             let ports = locap_graph::random::random_ports(&g, &mut rng);
-            let res = maximal_matching_2colored(&g, &ports, &bipartite_colors(a, b));
+            let res = maximal_matching_2colored(&g, &ports, &bipartite_colors(a, b)).unwrap();
             assert!(matching::feasible(&g, &res.matching), "trial {trial}");
             assert!(matching::is_maximal(&g, &res.matching), "trial {trial}");
         }

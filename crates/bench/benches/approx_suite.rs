@@ -23,7 +23,7 @@ fn bench_suite(c: &mut Criterion) {
             b.iter(|| black_box(maximal_edge_packing(g).unwrap().saturated.len()))
         });
         group.bench_with_input(BenchmarkId::new("double_cover_3approx", name), g, |b, g| {
-            b.iter(|| black_box(vc_double_cover(g, &ports).len()))
+            b.iter(|| black_box(vc_double_cover(g, &ports).unwrap().len()))
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_cv(c: &mut Criterion) {
         let g = gen::cycle(n);
         let ids = ids_for(n);
         group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
-            b.iter(|| black_box(cycle_mis(&g, &ids).mis.len()))
+            b.iter(|| black_box(cycle_mis(&g, &ids).unwrap().mis.len()))
         });
     }
     group.finish();
@@ -28,7 +28,7 @@ fn bench_cv(c: &mut Criterion) {
         let g = gen::cycle(n);
         let ids = ids_for(n);
         group.bench_with_input(BenchmarkId::new("rounds_probe", n), &n, |b, _| {
-            b.iter(|| black_box(rounds_to_six_colors(&g, &ids)))
+            b.iter(|| black_box(rounds_to_six_colors(&g, &ids).unwrap()))
         });
     }
     group.finish();

@@ -14,13 +14,13 @@ fn bench_eds(c: &mut Criterion) {
         let g = gen::cycle(n);
         let ports = PortNumbering::sorted(&g);
         group.bench_with_input(BenchmarkId::new("double_cover_cycle", n), &n, |b, _| {
-            b.iter(|| black_box(eds_double_cover(&g, &ports).len()))
+            b.iter(|| black_box(eds_double_cover(&g, &ports).unwrap().len()))
         });
     }
     let p = gen::petersen();
     let ports = PortNumbering::sorted(&p);
     group.bench_function("double_cover_petersen", |b| {
-        b.iter(|| black_box(eds_double_cover(&p, &ports).len()))
+        b.iter(|| black_box(eds_double_cover(&p, &ports).unwrap().len()))
     });
     group.finish();
 

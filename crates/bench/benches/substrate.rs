@@ -84,6 +84,7 @@ fn bench_substrate(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     run_sync(&cyc, &ports, Some(&ids), None, &GossipIds { rounds: r }, r + 2)
+                        .unwrap()
                         .rounds,
                 )
             })

@@ -35,7 +35,7 @@ fn body() {
     ]);
     let mut rng = StdRng::seed_from_u64(2012);
     for n in [8usize, 16, 64, 256, 1024, 4096] {
-        let out = cycle_mis_n(n, None);
+        let out = cycle_mis_n(n, None).expect("cycles are well-formed");
         let g = gen::cycle(n);
         let valid = locap_problems::independent_set::feasible(&g, &out.mis)
             && g.nodes().all(|v| {
@@ -46,7 +46,7 @@ fn body() {
         let worst = (0..30)
             .map(|_| {
                 let ids = locap_graph::random::random_ids(n, universe, &mut rng);
-                rounds_to_six_colors(&g, &ids)
+                rounds_to_six_colors(&g, &ids).expect("cycles are well-formed")
             })
             .max()
             .unwrap();

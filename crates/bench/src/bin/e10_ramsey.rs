@@ -55,7 +55,7 @@ fn report<A: IdVertexAlgorithm + Clone>(name: &str, algo: A, t: &mut locap_bench
             // run A with ids from J on a cycle and compare with B = OiFromId
             let g = locap_graph::gen::cycle(j.len());
             let ids: Vec<u64> = j.clone();
-            let a_out = run::id_vertex(&g, &ids, &algo);
+            let a_out = run::id_vertex(&g, &ids, &algo).expect("well-formed instance");
             // B consumes the ordered graph whose order is the id order
             let rank: Vec<usize> = {
                 let mut perm: Vec<usize> = (0..j.len()).collect();
@@ -66,7 +66,7 @@ fn report<A: IdVertexAlgorithm + Clone>(name: &str, algo: A, t: &mut locap_bench
                 }
                 rank
             };
-            let b_out = run::oi_vertex(&g, &rank, &oi);
+            let b_out = run::oi_vertex(&g, &rank, &oi).expect("well-formed instance");
             let agree = run::agreement(&a_out, &b_out);
             t.row(&cells([&name, &format!("{j:?}"), &bit, &verified, &format!("{agree:.3}")]));
         }

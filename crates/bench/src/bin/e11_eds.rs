@@ -93,7 +93,7 @@ fn body() {
         let delta = g.max_degree();
         let dp = 2 * (delta / 2).max(1);
         let ports = PortNumbering::sorted(&g);
-        let d = eds_double_cover(&g, &ports);
+        let d = eds_double_cover(&g, &ports).expect("well-formed instance");
         assert!(edge_dominating_set::feasible(&g, &d), "{name}: infeasible output");
         let opt = edge_dominating_set::opt_value(&g);
         let ratio = approx_ratio(d.len(), opt, Goal::Minimize).unwrap();

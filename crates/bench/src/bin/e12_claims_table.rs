@@ -66,7 +66,7 @@ fn body() {
             approx_ratio(ec.len(), edge_cover::opt_value(&g).unwrap(), Goal::Minimize).unwrap();
         worst_ec = worst_ec.max(r_ec);
 
-        let eds = eds_double_cover(&g, &ports);
+        let eds = eds_double_cover(&g, &ports).expect("well-formed instance");
         assert!(edge_dominating_set::feasible(&g, &eds));
         let r_eds =
             approx_ratio(eds.len(), edge_dominating_set::opt_value(&g), Goal::Minimize).unwrap();

@@ -29,6 +29,7 @@
 
 use std::collections::BTreeSet;
 
+use locap_graph::budget::RunBudget;
 use locap_graph::factor::two_factor_labeling;
 use locap_graph::{Edge, Graph, LDigraph};
 use locap_lifts::{connect_copies, ViewCache};
@@ -57,10 +58,11 @@ impl EdsInstance {
     }
 }
 
-/// The tight bound `4 − 2/Δ′` as an exact rational.
+/// The tight bound `4 − 2/Δ′` as an exact rational. Total: `Δ′ = 0`
+/// (outside the theorem's range) yields `0`.
 pub fn eds_bound(delta_prime: usize) -> Ratio {
     let dp = delta_prime as i128;
-    Ratio::new(4 * dp - 2, dp).expect("Δ′ ≥ 2")
+    Ratio::new(4 * dp - 2, dp).unwrap_or(Ratio::ZERO)
 }
 
 /// The perfect-EDS size `nΔ′/(2(2Δ′−1))`, when integral.
@@ -146,6 +148,22 @@ pub struct LowerBoundReport {
 /// Fails if the instance is not PO-symmetric or no symmetric solution is
 /// feasible.
 pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreError> {
+    lower_bound_report_budgeted(inst, &RunBudget::unlimited())
+}
+
+/// Budget-aware [`lower_bound_report`]: the census respects the budget's
+/// cache cap, and the symmetric enumeration and exact solve check the
+/// deadline. The report certifies an exact minimum, so a tripped budget
+/// is [`CoreError::Truncated`] naming the stage, not a partial report.
+///
+/// # Errors
+///
+/// Same conditions as [`lower_bound_report`], plus
+/// [`CoreError::Truncated`] when the budget trips.
+pub fn lower_bound_report_budgeted(
+    inst: &EdsInstance,
+    budget: &RunBudget,
+) -> Result<LowerBoundReport, CoreError> {
     let d = &inst.digraph;
     let n = d.node_count();
     let _span = obs::span_with("eds_lower/report", &[("nodes", n as i64)]);
@@ -161,7 +179,12 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
         let _span = obs::span("census");
         let mut cache = ViewCache::new(d);
         for r in 1..=2 {
-            let census = cache.census(r);
+            let census = match cache.try_census(r, budget.cache_cap()) {
+                Ok(c) => c,
+                Err(t) => {
+                    return Err(CoreError::Truncated { stage: "view census", reason: t.publish() })
+                }
+            };
             if census.len() != 1 {
                 return Err(CoreError::VerificationFailed {
                     property: format!("{} view classes at radius {r}", census.len()),
@@ -177,6 +200,12 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
         let _span = obs::span_with("symmetric_enum", &[("labels", k as i64)]);
         let mut best: Option<usize> = None;
         for mask in 1u32..(1 << k) {
+            if let Some(t) = budget.check_deadline() {
+                return Err(CoreError::Truncated {
+                    stage: "symmetric enumeration",
+                    reason: t.publish(),
+                });
+            }
             let chosen: BTreeSet<Edge> = d
                 .edges()
                 .filter(|e| mask & (1 << e.label) != 0)
@@ -191,6 +220,9 @@ pub fn lower_bound_report(inst: &EdsInstance) -> Result<LowerBoundReport, CoreEr
         })?
     };
 
+    if let Some(t) = budget.check_deadline() {
+        return Err(CoreError::Truncated { stage: "exact optimum", reason: t.publish() });
+    }
     let opt_span = obs::span("opt_solve");
     let opt_set = edge_dominating_set::solve_exact(&und);
     let opt = opt_set.len();

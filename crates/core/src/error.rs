@@ -1,5 +1,8 @@
 use std::fmt;
 
+use locap_graph::budget::TruncationReason;
+use locap_models::RunError;
+
 /// Errors from the constructions of the main theorems.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -31,6 +34,19 @@ pub enum CoreError {
         /// Description of the defect.
         reason: String,
     },
+    /// A model run inside the pipeline rejected its input.
+    Run(RunError),
+    /// A [`locap_graph::budget::RunBudget`] cut a report-shaped pipeline
+    /// short: no meaningful partial report exists, so the truncation is
+    /// an error carrying the stage it interrupted. (Value-shaped runs
+    /// return their partial prefix via
+    /// [`locap_graph::budget::Budgeted`] instead.)
+    Truncated {
+        /// Which pipeline stage was interrupted.
+        stage: &'static str,
+        /// Why the budget stopped it.
+        reason: TruncationReason,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -44,11 +60,30 @@ impl fmt::Display for CoreError {
                 write!(f, "verification failed: {property}")
             }
             CoreError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            CoreError::Run(e) => write!(f, "model run failed: {e}"),
+            CoreError::Truncated { stage, reason } => {
+                write!(f, "budget exhausted during {stage}: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for CoreError {
+    fn from(e: RunError) -> CoreError {
+        // Already published at its construction site (`RunError::publish`);
+        // wrapping adds no second count.
+        CoreError::Run(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -62,5 +97,17 @@ mod tests {
         let e: Box<dyn std::error::Error> =
             Box::new(CoreError::VerificationFailed { property: "girth".into() });
         assert!(e.to_string().contains("girth"));
+    }
+
+    #[test]
+    fn run_and_truncated_variants() {
+        let e: CoreError = RunError::MissingIds.into();
+        assert!(matches!(e, CoreError::Run(RunError::MissingIds)));
+        assert!(e.to_string().contains("identifiers"));
+        let t = CoreError::Truncated {
+            stage: "mask sweep",
+            reason: TruncationReason::RoundLimit { limit: 4 },
+        };
+        assert!(t.to_string().contains("mask sweep"));
     }
 }

@@ -14,6 +14,7 @@
 //! All three properties are verified computationally by
 //! [`HomogeneousLift::verify`].
 
+use locap_graph::budget::RunBudget;
 use locap_graph::canon::ordered_lnbhd_in;
 use locap_graph::product::label_matching_product;
 use locap_graph::LDigraph;
@@ -43,10 +44,11 @@ pub struct HomogeneousLift {
 }
 
 impl HomogeneousLift {
-    /// The fraction of good vertices (≥ 1 − ε by construction).
+    /// The fraction of good vertices (≥ 1 − ε by construction). Total:
+    /// an empty lift reports fraction `0`.
     pub fn good_fraction(&self) -> Ratio {
         let good = self.good.iter().filter(|&&b| b).count();
-        Ratio::new(good as i128, self.good.len() as i128).expect("non-empty lift")
+        Ratio::new(good as i128, self.good.len() as i128).unwrap_or(Ratio::ZERO)
     }
 
     /// Number of lift vertices.
@@ -72,6 +74,23 @@ pub fn eval_word(u: &IterGroup, gens: &[Vec<i64>], w: &Word) -> Vec<i64> {
 ///
 /// Fails if the alphabets disagree or the verified properties do not hold.
 pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<HomogeneousLift, CoreError> {
+    homogeneous_lift_budgeted(g, h, &RunBudget::unlimited())
+}
+
+/// Budget-aware [`homogeneous_lift`]: the verification sweep (girth
+/// spot-checks and the per-sample τ*-order audit) checks the deadline
+/// between samples. An unverified lift is useless to the transfer, so a
+/// tripped budget is [`CoreError::Truncated`], not a partial lift.
+///
+/// # Errors
+///
+/// Same conditions as [`homogeneous_lift`], plus
+/// [`CoreError::Truncated`] when the budget trips.
+pub fn homogeneous_lift_budgeted(
+    g: &LDigraph,
+    h: &HomogeneousGraph,
+    budget: &RunBudget,
+) -> Result<HomogeneousLift, CoreError> {
     let mut lift_span = obs::span("hom_lift/lift");
     if g.alphabet_size() != h.digraph.alphabet_size() {
         return Err(CoreError::BadParameters {
@@ -111,11 +130,16 @@ pub fn homogeneous_lift(g: &LDigraph, h: &HomogeneousGraph) -> Result<Homogeneou
     let good: Vec<bool> = (0..nh * ng).map(|x| good_h[x / ng]).collect();
 
     let out = HomogeneousLift { lift, phi, rank, good, radius: h.radius };
-    verify_lift(&out, g, h)?;
+    verify_lift(&out, g, h, budget)?;
     Ok(out)
 }
 
-fn verify_lift(c: &HomogeneousLift, _g: &LDigraph, h: &HomogeneousGraph) -> Result<(), CoreError> {
+fn verify_lift(
+    c: &HomogeneousLift,
+    _g: &LDigraph,
+    h: &HomogeneousGraph,
+    budget: &RunBudget,
+) -> Result<(), CoreError> {
     let _span = obs::span("verify");
     // girth inherited from H (check near one good vertex and node 0; the
     // product need not be vertex-transitive, so spot-check a sample)
@@ -124,6 +148,9 @@ fn verify_lift(c: &HomogeneousLift, _g: &LDigraph, h: &HomogeneousGraph) -> Resu
     let n = c.lift.node_count();
     let stride = (n / 97).max(1);
     for v in (0..n).step_by(stride) {
+        if let Some(t) = budget.check_deadline() {
+            return Err(CoreError::Truncated { stage: "lift girth check", reason: t.publish() });
+        }
         if und.cycle_near_root(v, bound) {
             return Err(CoreError::VerificationFailed {
                 property: format!("lift girth > {bound} (cycle near {v})"),
@@ -143,6 +170,9 @@ fn verify_lift(c: &HomogeneousLift, _g: &LDigraph, h: &HomogeneousGraph) -> Resu
         .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
     let mut checked = 0usize;
     for v in (0..n).step_by(stride) {
+        if let Some(t) = budget.check_deadline() {
+            return Err(CoreError::Truncated { stage: "lift order audit", reason: t.publish() });
+        }
         if !c.good[v] {
             continue;
         }

@@ -28,6 +28,7 @@
 //! 2k-regularity, girth, the exact homogeneity census, and agreement of the
 //! census winner with the ε-independent τ* computed in `U`.
 
+use locap_graph::budget::RunBudget;
 use locap_graph::canon::{ordered_lnbhd_fast, NbhdScratch, OrderedLNbhd};
 use locap_graph::LDigraph;
 use locap_groups::{cayley, Group, IterGroup};
@@ -67,9 +68,9 @@ impl HomogeneousGraph {
     }
 
     /// The exact homogeneous fraction α (the graph is `(α, r)`-homogeneous).
+    /// Total: an empty graph reports fraction `0`.
     pub fn fraction(&self) -> Ratio {
-        Ratio::new(self.homogeneous_count as i128, self.node_count() as i128)
-            .expect("node count positive")
+        Ratio::new(self.homogeneous_count as i128, self.node_count() as i128).unwrap_or(Ratio::ZERO)
     }
 
     /// The inner-box lower bound `((m−2r)/m)^d` of §5.2.
@@ -83,7 +84,7 @@ impl HomogeneousGraph {
             num *= inner;
             den *= m;
         }
-        Ratio::new(num, den).expect("m positive")
+        Ratio::new(num, den).unwrap_or(Ratio::ZERO)
     }
 
     /// Re-checks every property Theorem 3.2 promises.
@@ -154,7 +155,8 @@ pub fn tau_star(level: usize, gens: &[Vec<i64>], r: usize) -> Result<OrderedLNbh
     // order by the cone
     ball.sort_by(|a, b| u.cmp_order(a, b));
     let pos = |x: &Vec<i64>| ball.iter().position(|y| y == x);
-    let root = pos(&u.identity()).expect("identity is in its ball") as u32;
+    // the identity seeds the ball, so the lookup always succeeds
+    let root = pos(&u.identity()).unwrap_or(0) as u32;
     let mut edges = Vec::new();
     for (i, x) in ball.iter().enumerate() {
         for (l, s) in gens.iter().enumerate() {
@@ -208,7 +210,7 @@ fn census_count(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("census worker panicked")).sum()
+        handles.into_iter().map(crate::transfer::join_worker).sum()
     })
 }
 
@@ -225,10 +227,30 @@ pub fn find_generators(
     k: usize,
     r: usize,
 ) -> Result<(IterGroup, Vec<Vec<i64>>, LDigraph), CoreError> {
+    find_generators_budgeted(level, m, k, r, &RunBudget::unlimited())
+}
+
+/// Budget-aware [`find_generators`]: the subset sweep checks the deadline
+/// before each candidate, so a runaway search returns
+/// [`CoreError::Truncated`] instead of spinning until the attempt cap.
+///
+/// # Errors
+///
+/// Same conditions as [`find_generators`], plus [`CoreError::Truncated`]
+/// when the budget trips.
+pub fn find_generators_budgeted(
+    level: usize,
+    m: u64,
+    k: usize,
+    r: usize,
+    budget: &RunBudget,
+) -> Result<(IterGroup, Vec<Vec<i64>>, LDigraph), CoreError> {
     let _span = obs::span("find_generators");
     let h = IterGroup::finite(level, m)
         .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
-    let order = h.order().expect("finite group");
+    let order = h
+        .order()
+        .ok_or_else(|| CoreError::BadParameters { reason: "group order unavailable".into() })?;
     if order > MAX_NODES {
         return Err(CoreError::TooLarge { reason: format!("|H_{level}({m})| = {order}") });
     }
@@ -252,6 +274,9 @@ pub fn find_generators(
         });
     }
     loop {
+        if let Some(t) = budget.check_deadline() {
+            return Err(CoreError::Truncated { stage: "generator search", reason: t.publish() });
+        }
         attempts += 1;
         if attempts > MAX_ATTEMPTS {
             return Err(CoreError::GeneratorSearchFailed {
@@ -307,14 +332,31 @@ pub fn find_generators(
 ///
 /// Fails if no generator set is found or the group would be too large.
 pub fn construct(k: usize, r: usize, m: u64) -> Result<HomogeneousGraph, CoreError> {
-    let mut last = None;
+    construct_budgeted(k, r, m, &RunBudget::unlimited())
+}
+
+/// Budget-aware [`construct`]: see [`construct_at_level_budgeted`].
+///
+/// # Errors
+///
+/// Same conditions as [`construct`], plus [`CoreError::Truncated`] when
+/// the budget trips.
+pub fn construct_budgeted(
+    k: usize,
+    r: usize,
+    m: u64,
+    budget: &RunBudget,
+) -> Result<HomogeneousGraph, CoreError> {
+    let mut last = CoreError::BadParameters { reason: "no nesting level attempted".into() };
     for level in 2..=3 {
-        match construct_at_level(level, k, r, m) {
+        match construct_at_level_budgeted(level, k, r, m, budget) {
             Ok(h) => return Ok(h),
-            Err(e) => last = Some(e),
+            // a tripped budget at one level will trip at the next too
+            Err(e @ CoreError::Truncated { .. }) => return Err(e),
+            Err(e) => last = e,
         }
     }
-    Err(last.expect("at least one level attempted"))
+    Err(last)
 }
 
 /// Builds the Theorem 3.2 graph at an explicit nesting level.
@@ -328,8 +370,28 @@ pub fn construct_at_level(
     r: usize,
     m: u64,
 ) -> Result<HomogeneousGraph, CoreError> {
+    construct_at_level_budgeted(level, k, r, m, &RunBudget::unlimited())
+}
+
+/// Budget-aware [`construct_at_level`]: the generator search checks the
+/// deadline per candidate subset, and the closing census checks it once
+/// before starting. A [`HomogeneousGraph`] is only valid fully verified,
+/// so a tripped budget is [`CoreError::Truncated`], never a partial
+/// graph.
+///
+/// # Errors
+///
+/// Same conditions as [`construct_at_level`], plus
+/// [`CoreError::Truncated`] when the budget trips.
+pub fn construct_at_level_budgeted(
+    level: usize,
+    k: usize,
+    r: usize,
+    m: u64,
+    budget: &RunBudget,
+) -> Result<HomogeneousGraph, CoreError> {
     let _span = obs::span("homogeneous/construct");
-    let (h, gens, digraph) = find_generators(level, m, k, r)?;
+    let (h, gens, digraph) = find_generators_budgeted(level, m, k, r, budget)?;
     let n = digraph.node_count();
 
     // order: restrict U's left-invariant order to Z_m^d
@@ -344,6 +406,9 @@ pub fn construct_at_level(
     }
 
     let tau = tau_star(level, &gens, r)?;
+    if let Some(t) = budget.check_deadline() {
+        return Err(CoreError::Truncated { stage: "homogeneity census", reason: t.publish() });
+    }
     let und = digraph.underlying_simple();
     let homogeneous_count = census_count(&digraph, &und, &rank, r, &tau);
 
@@ -375,7 +440,9 @@ pub fn construct_for_epsilon(
     if eps <= Ratio::ZERO || eps > Ratio::ONE {
         return Err(CoreError::BadParameters { reason: format!("eps {eps} out of (0, 1]") });
     }
-    let target = Ratio::ONE.sub(eps).expect("eps in range");
+    let target = Ratio::ONE
+        .sub(eps)
+        .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
     let mut m = (2 * r as u64 + 2).max(4);
     loop {
         if m % 2 == 1 {
@@ -385,7 +452,7 @@ pub fn construct_for_epsilon(
         let inner = {
             let mm = m as i128;
             let i = mm - 2 * r as i128;
-            Ratio::new(i * i * i, mm * mm * mm).expect("m positive")
+            Ratio::new(i * i * i, mm * mm * mm).unwrap_or(Ratio::ZERO)
         };
         if inner >= target {
             return construct_at_level(2, k, r, m);

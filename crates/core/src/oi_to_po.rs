@@ -57,8 +57,14 @@ impl<A> PoFromOi<A> {
     }
 
     /// Wraps `oi` using the structure of a constructed homogeneous graph.
-    pub fn from_homogeneous(oi: A, h: &HomogeneousGraph) -> PoFromOi<A> {
-        PoFromOi::new(oi, h.level, h.gens.clone()).expect("homogeneous graph is self-consistent")
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoFromOi::new`] — impossible for a graph
+    /// built by [`crate::homogeneous::construct`], reachable for a
+    /// hand-assembled [`HomogeneousGraph`] with mismatched fields.
+    pub fn from_homogeneous(oi: A, h: &HomogeneousGraph) -> Result<PoFromOi<A>, CoreError> {
+        PoFromOi::new(oi, h.level, h.gens.clone())
     }
 
     /// Orders the walks of a view by `<*` and returns
@@ -76,12 +82,18 @@ impl<A> PoFromOi<A> {
         });
         let pos: std::collections::HashMap<&Word, u32> =
             words.iter().enumerate().map(|(i, w)| (w, i as u32)).collect();
-        let root = pos[&Word::empty()];
+        // a view always contains the empty walk at its root; position 0
+        // is a harmless fallback should that invariant ever break
+        let root = pos.get(&Word::empty()).copied().unwrap_or(0);
         let mut edges = Vec::new();
         for w in &words {
             if let Some(p) = w.parent() {
-                let a = pos[w];
-                let b = *pos.get(&p).expect("word present");
+                // the parent of a word in a view is also in the view;
+                // a missing one would mean a malformed tree — drop the
+                // edge rather than panic
+                let (Some(&a), Some(&b)) = (pos.get(w), pos.get(&p)) else {
+                    continue;
+                };
                 edges.push((a.min(b), a.max(b)));
             }
         }
@@ -112,8 +124,12 @@ pub struct PoFromOiEdge<A> {
 
 impl<A> PoFromOiEdge<A> {
     /// Wraps `oi` using the structure of a constructed homogeneous graph.
-    pub fn from_homogeneous(oi: A, h: &HomogeneousGraph) -> PoFromOiEdge<A> {
-        PoFromOiEdge { inner: PoFromOi::from_homogeneous(oi, h) }
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PoFromOi::from_homogeneous`].
+    pub fn from_homogeneous(oi: A, h: &HomogeneousGraph) -> Result<PoFromOiEdge<A>, CoreError> {
+        Ok(PoFromOiEdge { inner: PoFromOi::from_homogeneous(oi, h)? })
     }
 }
 
@@ -122,6 +138,12 @@ impl<A: OiEdgeAlgorithm> PoEdgeAlgorithm for PoFromOiEdge<A> {
         self.inner.oi.radius()
     }
 
+    /// # Panics
+    ///
+    /// Panics when the wrapped OI algorithm emits an output vector whose
+    /// length is not the root degree — a contract violation of the OI
+    /// algorithm itself (the trait is infallible, so this cannot be a
+    /// typed error).
     fn evaluate(&self, view: &ViewTree) -> Vec<(Letter, bool)> {
         let (words, nbhd) = self.inner.ordered_restriction(view);
         let bits = self.inner.oi.evaluate(&nbhd);
@@ -168,7 +190,7 @@ mod tests {
         // everywhere — and under <* (cone order) the root of τ* is never
         // the minimum (s⁻¹ < λ), so B never selects.
         let h = construct(1, 1, 6).unwrap();
-        let b = PoFromOi::from_homogeneous(LocalMin, &h);
+        let b = PoFromOi::from_homogeneous(LocalMin, &h).unwrap();
         let g = gen::directed_cycle(9);
         for v in 0..9 {
             assert!(!b.evaluate(&view(&g, v, 1)));
@@ -178,7 +200,7 @@ mod tests {
     #[test]
     fn ordered_restriction_of_cycle_view_is_path() {
         let h = construct(1, 1, 6).unwrap();
-        let b = PoFromOi::from_homogeneous(LocalMin, &h);
+        let b = PoFromOi::from_homogeneous(LocalMin, &h).unwrap();
         let g = gen::directed_cycle(9);
         let (words, nbhd) = b.ordered_restriction(&view(&g, 0, 2));
         assert_eq!(nbhd.n, 5);
@@ -192,7 +214,7 @@ mod tests {
     fn b_total_on_low_girth_views() {
         // Girth 3 < 2r+1: walks collide in the graph but B still runs.
         let h = construct(1, 2, 8).unwrap();
-        let b = PoFromOi::from_homogeneous(LocalMin, &h);
+        let b = PoFromOi::from_homogeneous(LocalMin, &h).unwrap();
         let g = gen::directed_cycle(3);
         for v in 0..3 {
             let _ = b.evaluate(&view(&g, v, 2)); // must not panic
@@ -217,7 +239,7 @@ mod tests {
             }
         }
         let h = construct(1, 1, 6).unwrap();
-        let b = PoFromOiEdge::from_homogeneous(SmallestNbr, &h);
+        let b = PoFromOiEdge::from_homogeneous(SmallestNbr, &h).unwrap();
         let g = gen::directed_cycle(7);
         let out = b.evaluate(&view(&g, 0, 1));
         // neighbours: a (successor, cone-positive) and a⁻¹ (predecessor,

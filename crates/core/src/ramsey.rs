@@ -20,6 +20,7 @@
 
 use std::collections::BTreeSet;
 
+use locap_graph::budget::RunBudget;
 use locap_graph::canon::{IdNbhd, OrderedNbhd};
 use locap_models::{IdVertexAlgorithm, OiVertexAlgorithm};
 use locap_obs as obs;
@@ -42,73 +43,110 @@ where
     C: Eq + Clone,
     F: FnMut(&[u64]) -> C,
 {
+    // an unlimited budget never truncates, so the Err arm is unreachable
+    monochromatic_subset_budgeted(color, universe, t, m, &RunBudget::unlimited()).unwrap_or(None)
+}
+
+/// Budget-aware [`monochromatic_subset`]: the DFS checks the deadline at
+/// every node expansion. A truncated search proves nothing about the
+/// universe (the subset may exist further along), so it reports
+/// [`CoreError::Truncated`] instead of `Ok(None)`.
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`] when the budget trips mid-search.
+pub fn monochromatic_subset_budgeted<C, F>(
+    color: &mut F,
+    universe: &[u64],
+    t: usize,
+    m: usize,
+    budget: &RunBudget,
+) -> Result<Option<(Vec<u64>, C)>, CoreError>
+where
+    C: Eq + Clone,
+    F: FnMut(&[u64]) -> C,
+{
     let _span = obs::span_with(
         "ramsey/monochromatic_subset",
         &[("universe", universe.len() as i64), ("t", t as i64), ("m", m as i64)],
     );
     if m < t || universe.len() < m {
-        return None;
+        return Ok(None);
     }
     let mut sorted: Vec<u64> = universe.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
 
-    fn extend<C: Eq + Clone>(
-        sorted: &[u64],
-        start: usize,
-        partial: &mut Vec<u64>,
-        expected: &mut Option<C>,
-        color: &mut impl FnMut(&[u64]) -> C,
+    // DFS state bundled so the recursion stays readable: `sorted`, `t`,
+    // `m`, `budget` are fixed for the whole search, `partial`/`expected`
+    // are the backtracking state.
+    struct Search<'a, C, F> {
+        sorted: &'a [u64],
         t: usize,
         m: usize,
-    ) -> bool {
-        if partial.len() == m {
-            return true;
-        }
-        for i in start..sorted.len() {
-            if sorted.len() - i < m - partial.len() {
-                break;
-            }
-            let saved = expected.clone();
-            partial.push(sorted[i]);
-            // check every new t-subset (those containing the new element)
-            let ok = if partial.len() < t {
-                true
-            } else {
-                all_t_subsets_with_last(partial, t, |s| {
-                    let c = color(s);
-                    match expected {
-                        None => {
-                            *expected = Some(c);
-                            true
-                        }
-                        Some(e) => *e == c,
-                    }
-                })
-            };
-            if ok && extend(sorted, i + 1, partial, expected, color, t, m) {
-                return true;
-            }
-            partial.pop();
-            *expected = saved;
-        }
-        false
+        budget: &'a RunBudget,
+        color: &'a mut F,
+        partial: Vec<u64>,
+        expected: Option<C>,
     }
 
-    let mut partial = Vec::new();
-    let mut expected: Option<C> = None;
-    if extend(&sorted, 0, &mut partial, &mut expected, color, t, m) {
+    impl<C: Eq + Clone, F: FnMut(&[u64]) -> C> Search<'_, C, F> {
+        fn extend(&mut self, start: usize) -> Result<bool, CoreError> {
+            if self.partial.len() == self.m {
+                return Ok(true);
+            }
+            if let Some(tr) = self.budget.check_deadline() {
+                return Err(CoreError::Truncated { stage: "Ramsey search", reason: tr.publish() });
+            }
+            for i in start..self.sorted.len() {
+                if self.sorted.len() - i < self.m - self.partial.len() {
+                    break;
+                }
+                let saved = self.expected.clone();
+                self.partial.push(self.sorted[i]);
+                // check every new t-subset (those containing the new element)
+                let ok = if self.partial.len() < self.t {
+                    true
+                } else {
+                    let (color, expected) = (&mut self.color, &mut self.expected);
+                    all_t_subsets_with_last(&self.partial, self.t, |s| {
+                        let c = color(s);
+                        match expected {
+                            None => {
+                                *expected = Some(c);
+                                true
+                            }
+                            Some(e) => *e == c,
+                        }
+                    })
+                };
+                if ok && self.extend(i + 1)? {
+                    return Ok(true);
+                }
+                self.partial.pop();
+                self.expected = saved;
+            }
+            Ok(false)
+        }
+    }
+
+    let mut search =
+        Search { sorted: &sorted, t, m, budget, color, partial: Vec::new(), expected: None };
+    if search.extend(0)? {
+        let Search { partial, expected, color, .. } = search;
         let c = expected.unwrap_or_else(|| color(&partial[..t]));
-        Some((partial, c))
+        Ok(Some((partial, c)))
     } else {
-        None
+        Ok(None)
     }
 }
 
 /// Calls `f` on every `t`-subset of `set` that contains the last element;
 /// returns whether all calls returned `true`.
 fn all_t_subsets_with_last(set: &[u64], t: usize, mut f: impl FnMut(&[u64]) -> bool) -> bool {
-    let last = *set.last().expect("non-empty set");
+    let Some(&last) = set.last() else {
+        return true; // an empty set has no t-subsets
+    };
     let rest = &set[..set.len() - 1];
     let mut idx: Vec<usize> = (0..t - 1).collect();
     if rest.len() < t - 1 {
@@ -142,6 +180,10 @@ fn all_t_subsets_with_last(set: &[u64], t: usize, mut f: impl FnMut(&[u64]) -> b
 /// The OI algorithm `B` induced by an ID algorithm `A` and an identifier
 /// pool `J`: evaluate `A` with the `|ball|` smallest members of `J`
 /// assigned to the ball in order (the paper's `f_{W,S}` with `S ⊆ J`).
+///
+/// `evaluate` panics if a ball exceeds the pool — the pool size is a
+/// construction-time contract (`|J| ≥` the largest ball the run can
+/// produce), not a per-input condition.
 #[derive(Debug, Clone)]
 pub struct OiFromId<A> {
     id_algo: A,
@@ -191,6 +233,11 @@ impl<A: IdVertexAlgorithm> OiVertexAlgorithm for OiFromId<A> {
 /// (`t = 2r + 1`), run `A` at the centre of a path ball whose identifiers
 /// are `S` in increasing order along the path — that is `f_{W,S}` applied
 /// to the homogeneity type of the ordered cycle.
+///
+/// # Panics
+///
+/// Panics if `s.len()` is even — the window of a radius-`r` cycle ball
+/// always has odd size `2r + 1`, so an even `t` is a caller bug.
 pub fn cycle_tstar_color<A: IdVertexAlgorithm>(algo: &A, s: &[u64]) -> bool {
     let t = s.len();
     assert!(t % 2 == 1, "t = 2r + 1 must be odd");
@@ -201,6 +248,10 @@ pub fn cycle_tstar_color<A: IdVertexAlgorithm>(algo: &A, s: &[u64]) -> bool {
     algo.evaluate(&nbhd)
 }
 
+/// A successful §4.2 transfer: the induced OI algorithm, the
+/// monochromatic identifier set `J`, and the forced output bit.
+pub type CycleTransfer<A> = (OiFromId<A>, Vec<u64>, bool);
+
 /// End-to-end §4.2 for cycles: find a monochromatic `J ⊆ universe` for the
 /// colouring of `algo` at radius `r`, and return the induced OI algorithm
 /// together with `J` and the forced output bit.
@@ -209,7 +260,26 @@ pub fn ramsey_cycle_transfer<A>(
     universe: &[u64],
     r: usize,
     m: usize,
-) -> Option<(OiFromId<A>, Vec<u64>, bool)>
+) -> Option<CycleTransfer<A>>
+where
+    A: IdVertexAlgorithm + Clone,
+{
+    ramsey_cycle_transfer_budgeted(algo, universe, r, m, &RunBudget::unlimited()).unwrap_or(None)
+}
+
+/// Budget-aware [`ramsey_cycle_transfer`]: the underlying Ramsey search
+/// checks the deadline at every DFS node.
+///
+/// # Errors
+///
+/// [`CoreError::Truncated`] when the budget trips mid-search.
+pub fn ramsey_cycle_transfer_budgeted<A>(
+    algo: A,
+    universe: &[u64],
+    r: usize,
+    m: usize,
+    budget: &RunBudget,
+) -> Result<Option<CycleTransfer<A>>, CoreError>
 where
     A: IdVertexAlgorithm + Clone,
 {
@@ -217,9 +287,13 @@ where
     let t = 2 * r + 1;
     let algo_ref = algo.clone();
     let mut color = move |s: &[u64]| cycle_tstar_color(&algo_ref, s);
-    let (j, bit) = monochromatic_subset(&mut color, universe, t, m)?;
-    let oi = OiFromId::new(algo, &j).ok()?;
-    Some((oi, j, bit))
+    let Some((j, bit)) = monochromatic_subset_budgeted(&mut color, universe, t, m, budget)? else {
+        return Ok(None);
+    };
+    match OiFromId::new(algo, &j) {
+        Ok(oi) => Ok(Some((oi, j, bit))),
+        Err(_) => Ok(None), // unreachable: J has m ≥ t ≥ 1 members
+    }
 }
 
 /// Checks that `A` behaves order-invariantly on identifier assignments

@@ -14,6 +14,7 @@
 
 use std::collections::BTreeSet;
 
+use locap_graph::budget::RunBudget;
 use locap_graph::{Graph, LDigraph};
 use locap_models::{run, OiVertexAlgorithm};
 use locap_num::Ratio;
@@ -24,6 +25,15 @@ use crate::hom_lift::{homogeneous_lift, HomogeneousLift};
 use crate::homogeneous::HomogeneousGraph;
 use crate::oi_to_po::PoFromOi;
 use crate::CoreError;
+
+/// Joins a scoped worker, forwarding its `Result` and re-raising a panic
+/// (a worker panic is a bug, never a malformed-input condition).
+pub(crate) fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
 
 /// Measured outcome of one transfer run (vertex-subset problems).
 #[derive(Debug, Clone)]
@@ -67,7 +77,7 @@ where
     let mut span = obs::span("transfer/vertex");
     let lift = homogeneous_lift(g, h)?;
     span.arg("lift_nodes", lift.node_count() as i64);
-    let b = PoFromOi::from_homogeneous(oi.clone(), h);
+    let b = PoFromOi::from_homogeneous(oi.clone(), h)?;
 
     // A on the ordered lift (OI model) and B on the lift (PO model) are
     // independent; run them on two scoped threads. Each worker adopts the
@@ -76,7 +86,7 @@ where
     // to the sequential order.
     let lift_und = lift.lift.underlying_simple();
     let parent_path = obs::current_span_path();
-    let (a_out, b_out) = std::thread::scope(|scope| {
+    let (a_res, b_res) = std::thread::scope(|scope| {
         let a = scope.spawn(|| {
             let _adopt = obs::adopt_span_path(&parent_path);
             run::oi_vertex(&lift_und, &lift.rank, &oi)
@@ -85,15 +95,17 @@ where
             let _adopt = obs::adopt_span_path(&parent_path);
             run::po_vertex(&lift.lift, &b)
         });
-        (a.join().expect("A-on-lift worker"), b_handle.join().expect("B-on-lift worker"))
+        (join_worker(a), join_worker(b_handle))
     });
+    let (a_out, b_out) = (a_res?, b_res?);
     let agreement = {
         let same = a_out.iter().zip(&b_out).filter(|(x, y)| x == y).count();
-        Ratio::new(same as i128, a_out.len() as i128).expect("non-empty lift")
+        Ratio::new(same as i128, a_out.len() as i128)
+            .map_err(|_| CoreError::BadParameters { reason: "empty lift".into() })?
     };
 
     // B on the base graph + exact lift-invariance check
-    let b_g = run::po_vertex(g, &b);
+    let b_g = run::po_vertex(g, &b)?;
     for v in 0..lift.lift.node_count() {
         if b_out[v] != b_g[lift.phi.image(v)] {
             return Err(CoreError::VerificationFailed {
@@ -121,6 +133,89 @@ where
         },
         lift,
     ))
+}
+
+/// Budget-aware [`transfer_vertex`]: the budget is threaded into each of
+/// the three engine runs (A on the lift, B on the lift, B on the base
+/// graph), which are executed sequentially so the deadline is respected
+/// across stages.
+///
+/// # Errors
+///
+/// Same conditions as [`transfer_vertex`], plus
+/// [`CoreError::Truncated`] naming the interrupted stage when the budget
+/// trips — the report is only meaningful when every run completed, so a
+/// truncated transfer is an error rather than a partial report.
+pub fn transfer_vertex_budgeted<A>(
+    g: &LDigraph,
+    h: &HomogeneousGraph,
+    oi: A,
+    goal: Goal,
+    feasible: impl Fn(&Graph, &BTreeSet<usize>) -> bool,
+    opt: impl Fn(&Graph) -> usize,
+    budget: &RunBudget,
+) -> Result<(TransferReport, HomogeneousLift), CoreError>
+where
+    A: OiVertexAlgorithm + Clone + Send + Sync,
+{
+    let mut span = obs::span("transfer/vertex");
+    let lift = homogeneous_lift(g, h)?;
+    span.arg("lift_nodes", lift.node_count() as i64);
+    let b = PoFromOi::from_homogeneous(oi.clone(), h)?;
+    let lift_und = lift.lift.underlying_simple();
+
+    let a_out = require_complete(
+        run::oi_vertex_budgeted(&lift_und, &lift.rank, &oi, budget)?,
+        "A on lift",
+    )?;
+    let b_out = require_complete(run::po_vertex_budgeted(&lift.lift, &b, budget)?, "B on lift")?;
+    let agreement = {
+        let same = a_out.iter().zip(&b_out).filter(|(x, y)| x == y).count();
+        Ratio::new(same as i128, a_out.len() as i128)
+            .map_err(|_| CoreError::BadParameters { reason: "empty lift".into() })?
+    };
+
+    let b_g = require_complete(run::po_vertex_budgeted(g, &b, budget)?, "B on base graph")?;
+    for v in 0..lift.lift.node_count() {
+        if b_out[v] != b_g[lift.phi.image(v)] {
+            return Err(CoreError::VerificationFailed {
+                property: format!("lift invariance of B at lift node {v}"),
+            });
+        }
+    }
+
+    let b_set = run::to_vertex_set(&b_g);
+    let g_und = g.underlying_simple();
+    let is_feasible = feasible(&g_und, &b_set);
+    let opt_val = opt(&g_und);
+    let ratio = approx_ratio(b_set.len(), opt_val, goal);
+
+    Ok((
+        TransferReport {
+            lift_nodes: lift.node_count(),
+            agreement,
+            a_on_lift: a_out.iter().filter(|&&x| x).count(),
+            b_on_lift: b_out.iter().filter(|&&x| x).count(),
+            b_on_g: b_set,
+            feasible: is_feasible,
+            ratio,
+            opt: opt_val,
+        },
+        lift,
+    ))
+}
+
+/// Unwraps a [`Budgeted`](locap_graph::budget::Budgeted) run inside a
+/// report-shaped pipeline: a complete value passes through, a truncated
+/// one becomes [`CoreError::Truncated`] tagged with `stage`.
+pub(crate) fn require_complete<T>(
+    run: locap_graph::budget::Budgeted<T>,
+    stage: &'static str,
+) -> Result<T, CoreError> {
+    match run.truncation {
+        None => Ok(run.value),
+        Some(reason) => Err(CoreError::Truncated { stage, reason }),
+    }
 }
 
 /// Measured outcome of one transfer run (edge-subset problems).
@@ -163,12 +258,12 @@ where
     let mut span = obs::span("transfer/edge");
     let lift = homogeneous_lift(g, h)?;
     span.arg("lift_nodes", lift.node_count() as i64);
-    let b = PoFromOiEdge::from_homogeneous(oi.clone(), h);
+    let b = PoFromOiEdge::from_homogeneous(oi.clone(), h)?;
 
     // A and B on the lift are independent, as in [`transfer_vertex`]
     let lift_und = lift.lift.underlying_simple();
     let parent_path = obs::current_span_path();
-    let (a_set, b_lift_set) = std::thread::scope(|scope| {
+    let (a_res, b_res) = std::thread::scope(|scope| {
         let a = scope.spawn(|| {
             let _adopt = obs::adopt_span_path(&parent_path);
             run::oi_edge(&lift_und, &lift.rank, &oi)
@@ -177,9 +272,62 @@ where
             let _adopt = obs::adopt_span_path(&parent_path);
             run::po_edge(&lift.lift, &b)
         });
-        (a.join().expect("A-on-lift worker"), b_handle.join().expect("B-on-lift worker"))
+        (join_worker(a), join_worker(b_handle))
     });
-    let b_g_set = run::po_edge(g, &b);
+    let (a_set, b_lift_set) = (a_res?, b_res?);
+    let b_g_set = run::po_edge(g, &b)?;
+
+    let g_und = g.underlying_simple();
+    let is_feasible = feasible(&g_und, &b_g_set);
+    let opt_val = opt(&g_und);
+    let ratio = approx_ratio(b_g_set.len(), opt_val, goal);
+
+    Ok((
+        EdgeTransferReport {
+            lift_nodes: lift.node_count(),
+            a_on_lift: a_set.len(),
+            b_on_lift: b_lift_set.len(),
+            b_on_g: b_g_set,
+            feasible: is_feasible,
+            ratio,
+            opt: opt_val,
+        },
+        lift,
+    ))
+}
+
+/// Budget-aware [`transfer_edge`]: runs the three engine passes
+/// sequentially under `budget`; a truncated pass aborts the transfer
+/// with [`CoreError::Truncated`] naming the stage.
+///
+/// # Errors
+///
+/// Same conditions as [`transfer_edge`], plus [`CoreError::Truncated`]
+/// when the budget trips.
+pub fn transfer_edge_budgeted<A>(
+    g: &LDigraph,
+    h: &HomogeneousGraph,
+    oi: A,
+    goal: Goal,
+    feasible: impl Fn(&Graph, &BTreeSet<locap_graph::Edge>) -> bool,
+    opt: impl Fn(&Graph) -> usize,
+    budget: &RunBudget,
+) -> Result<(EdgeTransferReport, HomogeneousLift), CoreError>
+where
+    A: locap_models::OiEdgeAlgorithm + Clone + Send + Sync,
+{
+    use crate::oi_to_po::PoFromOiEdge;
+
+    let mut span = obs::span("transfer/edge");
+    let lift = homogeneous_lift(g, h)?;
+    span.arg("lift_nodes", lift.node_count() as i64);
+    let b = PoFromOiEdge::from_homogeneous(oi.clone(), h)?;
+    let lift_und = lift.lift.underlying_simple();
+
+    let a_set =
+        require_complete(run::oi_edge_budgeted(&lift_und, &lift.rank, &oi, budget)?, "A on lift")?;
+    let b_lift_set = require_complete(run::po_edge_budgeted(&lift.lift, &b, budget)?, "B on lift")?;
+    let b_g_set = require_complete(run::po_edge_budgeted(g, &b, budget)?, "B on base graph")?;
 
     let g_und = g.underlying_simple();
     let is_feasible = feasible(&g_und, &b_g_set);

@@ -59,16 +59,17 @@ pub struct OrderedNbhd {
 pub fn ordered_nbhd(g: &Graph, rank: &[usize], v: NodeId, r: usize) -> OrderedNbhd {
     let mut ball = g.ball_local(v, r);
     ball.sort_by_key(|&u| rank[u]);
-    let pos = |u: NodeId| -> u32 {
-        ball.iter().position(|&x| x == u).expect("ball members have positions") as u32
-    };
-    let root = pos(v);
+    let mut index = std::collections::HashMap::with_capacity(ball.len());
+    for (i, &u) in ball.iter().enumerate() {
+        index.insert(u, i as u32);
+    }
+    let root = index.get(&v).copied().unwrap_or(0);
     let mut edges = Vec::new();
     for (i, &a) in ball.iter().enumerate() {
         for &b in g.neighbors(a) {
-            if let Some(j) = ball.iter().position(|&x| x == b) {
-                if i < j {
-                    edges.push((i as u32, j as u32));
+            if let Some(&j) = index.get(&b) {
+                if (i as u32) < j {
+                    edges.push((i as u32, j));
                 }
             }
         }
@@ -170,13 +171,17 @@ pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
     let mut ball = g.ball_local(v, r);
     ball.sort_by_key(|&u| ids[u]);
     debug_assert!(ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]), "identifiers must be unique");
-    let root = ball.iter().position(|&x| x == v).expect("centre is in its ball") as u32;
+    let mut index = std::collections::HashMap::with_capacity(ball.len());
+    for (i, &u) in ball.iter().enumerate() {
+        index.insert(u, i as u32);
+    }
+    let root = index.get(&v).copied().unwrap_or(0);
     let mut edges = Vec::new();
     for (i, &a) in ball.iter().enumerate() {
         for &b in g.neighbors(a) {
-            if let Some(j) = ball.iter().position(|&x| x == b) {
-                if i < j {
-                    edges.push((i as u32, j as u32));
+            if let Some(&j) = index.get(&b) {
+                if (i as u32) < j {
+                    edges.push((i as u32, j));
                 }
             }
         }

@@ -103,13 +103,17 @@ impl LDigraph {
     }
 
     /// The head of the outgoing edge of `v` with `label`, if present.
+    /// Out-of-range `v` or `label` is simply "no such edge" (`None`), so
+    /// algorithm outputs naming absent letters surface as typed errors
+    /// upstream instead of index panics here.
     pub fn out_neighbor(&self, v: NodeId, label: Label) -> Option<NodeId> {
-        self.out[v][label]
+        self.out.get(v)?.get(label).copied().flatten()
     }
 
     /// The tail of the incoming edge of `v` with `label`, if present.
+    /// Total in the same way as [`LDigraph::out_neighbor`].
     pub fn in_neighbor(&self, v: NodeId, label: Label) -> Option<NodeId> {
-        self.inn[v][label]
+        self.inn.get(v)?.get(label).copied().flatten()
     }
 
     /// All outgoing edges of `v` in label order.

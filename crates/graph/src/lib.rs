@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod ball;
+pub mod budget;
 pub mod canon;
 mod digraph;
 mod dot;
@@ -47,6 +48,7 @@ pub mod product;
 pub mod random;
 mod simple;
 
+pub use budget::{Budgeted, ManualClock, MonotonicClock, RunBudget, StdClock, TruncationReason};
 pub use digraph::{DirEdge, LDigraph, Label};
 pub use dot::{digraph_to_dot, graph_to_dot};
 pub use error::GraphError;

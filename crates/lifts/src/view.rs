@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use locap_graph::budget::TruncationReason;
 use locap_graph::{LDigraph, NodeId};
 use locap_obs as obs;
 
@@ -332,6 +333,70 @@ impl<'g> ViewCache<'g> {
         out
     }
 
+    /// Cache entries currently held: refinement classes summed over the
+    /// built levels. This is the quantity a budget's cache cap bounds.
+    pub fn entry_count(&self) -> usize {
+        self.stats.classes.iter().sum()
+    }
+
+    /// Cap-aware [`ViewCache::root_classes`]: fails with
+    /// [`TruncationReason::CacheCapExceeded`] (unpublished — the caller
+    /// acting on the truncation publishes it) when depth `r` needs more
+    /// than `cap` entries across levels `0..=r`.
+    pub fn try_root_classes(
+        &mut self,
+        r: usize,
+        cap: Option<usize>,
+    ) -> Result<(Vec<u32>, usize), TruncationReason> {
+        self.try_ensure_depth(r, cap)?;
+        Ok(self.root_classes(r))
+    }
+
+    /// Cap-aware [`ViewCache::class_view`].
+    pub fn try_class_view(
+        &mut self,
+        r: usize,
+        class: u32,
+        cap: Option<usize>,
+    ) -> Result<ViewTree, TruncationReason> {
+        self.try_ensure_depth(r, cap)?;
+        Ok(self.class_view(r, class))
+    }
+
+    /// Cap-aware [`ViewCache::census`].
+    pub fn try_census(
+        &mut self,
+        r: usize,
+        cap: Option<usize>,
+    ) -> Result<Vec<(ViewTree, usize)>, TruncationReason> {
+        self.try_ensure_depth(r, cap)?;
+        Ok(self.census(r))
+    }
+
+    /// Builds levels up to `r` unless the classes held across levels
+    /// `0..=r` would exceed `cap`. Levels are built one at a time with
+    /// the running total checked after each, so the cache never holds
+    /// more than one level past the cap; the check only counts levels
+    /// `0..=r`, making the outcome independent of what deeper levels a
+    /// previous uncapped call may have built.
+    fn try_ensure_depth(&mut self, r: usize, cap: Option<usize>) -> Result<(), TruncationReason> {
+        let Some(cap) = cap else {
+            self.ensure_depth(r);
+            return Ok(());
+        };
+        loop {
+            let built = self.levels.len();
+            let needed = self.stats.classes.iter().take(r + 1).sum::<usize>();
+            if needed > cap {
+                return Err(TruncationReason::CacheCapExceeded { cap, needed });
+            }
+            if built > r {
+                return Ok(());
+            }
+            self.ensure_depth(built);
+        }
+    }
+
     /// Letter encoding matching `Letter`'s derived order:
     /// `pos(l) ↦ 2l`, `neg(l) ↦ 2l + 1`, so ascending codes are ascending
     /// letters and a letter's inverse is `code ^ 1`.
@@ -514,6 +579,24 @@ mod tests {
     use super::*;
     use locap_graph::gen;
     use locap_graph::product::toroidal;
+
+    #[test]
+    fn capped_cache_truncates_and_uncapped_call_still_succeeds() {
+        let g = gen::directed_cycle(6);
+        let mut cache = ViewCache::new(&g);
+        // depth 2 on a cycle: 1 + k1 + k2 classes; a cap of 1 only fits
+        // depth 0, so asking for depth 2 must truncate...
+        let err = cache.try_census(2, Some(1)).unwrap_err();
+        assert!(matches!(err, TruncationReason::CacheCapExceeded { cap: 1, .. }));
+        // ...the cache stays usable, an uncapped call finishes the build
+        let census = cache.try_census(2, None).unwrap();
+        assert_eq!(census, view_census_naive(&g, 2));
+        // and with the levels now built, a generous cap passes while the
+        // tight cap still fails deterministically (build-order independent)
+        assert!(cache.try_root_classes(2, Some(cache.entry_count())).is_ok());
+        assert!(cache.try_root_classes(2, Some(1)).is_err());
+        assert!(cache.try_class_view(1, 0, Some(1)).is_err());
+    }
 
     #[test]
     fn directed_cycle_views_identical() {

@@ -33,10 +33,12 @@ use std::collections::{BTreeSet, HashMap};
 
 use locap_obs as obs;
 
+use locap_graph::budget::{Budgeted, RunBudget};
 use locap_graph::canon::{id_nbhd_fast, ordered_nbhd_fast, IdNbhd, NbhdScratch, OrderedNbhd};
 use locap_graph::{Edge, Graph, LDigraph, NodeId};
 use locap_lifts::{ViewCache, ViewCacheStats, ViewTree};
 
+use crate::error::RunError;
 use crate::{
     IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
     PoVertexAlgorithm,
@@ -181,14 +183,39 @@ impl<'g> ViewEngine<'g> {
     /// Runs a PO vertex algorithm: one evaluation per view class,
     /// broadcast to all vertices of the class. Bit-identical to
     /// [`crate::run::po_vertex_naive`].
-    pub fn run_vertex<A: PoVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (PO vertex runs have no input
+    /// preconditions); `Result` for uniformity with the other engines.
+    pub fn run_vertex<A: PoVertexAlgorithm>(&mut self, algo: &A) -> Result<Vec<bool>, RunError> {
+        Ok(self.run_vertex_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`ViewEngine::run_vertex`]: the cache cap bounds the
+    /// view-cache entries and the deadline is checked per vertex. On
+    /// truncation the value is the per-vertex prefix computed so far
+    /// (empty when the cache cap stops the class refinement itself).
+    pub fn run_vertex_budgeted<A: PoVertexAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<Vec<bool>>, RunError> {
         let _span = obs::span("engine/po/run_vertex");
         let r = algo.radius();
-        let (classes, k) = self.cache.root_classes(r);
+        let (classes, k) = match self.cache.try_root_classes(r, budget.cache_cap()) {
+            Ok(x) => x,
+            Err(t) => return Ok(Budgeted::truncated(Vec::new(), t.publish())),
+        };
         let mut outputs: Vec<Option<bool>> = vec![None; k];
         let mut out = Vec::with_capacity(classes.len());
         let (mut evals, mut hits) = (0u64, 0u64);
+        let mut truncation = None;
         for (v, &c) in classes.iter().enumerate() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
             let bit = match outputs[c as usize] {
                 Some(b) => {
                     hits += 1;
@@ -204,30 +231,53 @@ impl<'g> ViewEngine<'g> {
             };
             out.push(bit);
         }
-        self.run_stats.vertices += classes.len();
+        self.run_stats.vertices += out.len();
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         // distinct *root* classes actually seen (k also counts non-root
         // walk states, which never reach the algorithm)
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
-        self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
-        trace_dedup("engine/po/dedup", classes.len(), self.run_stats.classes, evals, hits);
-        let _ = k;
-        out
+        self.obs.publish(out.len(), self.run_stats.classes, evals, hits);
+        trace_dedup("engine/po/dedup", out.len(), self.run_stats.classes, evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 
     /// Runs a PO edge algorithm: one evaluation per view class, then the
-    /// same per-vertex letter-to-edge assembly (and panic on absent
-    /// letters) as [`crate::run::po_edge_naive`].
-    pub fn run_edge<A: PoEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+    /// same per-vertex letter-to-edge assembly as
+    /// [`crate::run::po_edge_naive`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::AbsentLetter`] when the algorithm selects a letter
+    /// the node does not have.
+    pub fn run_edge<A: PoEdgeAlgorithm>(&mut self, algo: &A) -> Result<BTreeSet<Edge>, RunError> {
+        Ok(self.run_edge_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`ViewEngine::run_edge`]; on truncation the value
+    /// holds the edges selected by the vertices processed so far.
+    pub fn run_edge_budgeted<A: PoEdgeAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<BTreeSet<Edge>>, RunError> {
         let _span = obs::span("engine/po/run_edge");
         let d = self.cache.digraph();
         let r = algo.radius();
-        let (classes, k) = self.cache.root_classes(r);
+        let (classes, k) = match self.cache.try_root_classes(r, budget.cache_cap()) {
+            Ok(x) => x,
+            Err(t) => return Ok(Budgeted::truncated(BTreeSet::new(), t.publish())),
+        };
         let mut outputs: Vec<Option<Vec<(locap_lifts::Letter, bool)>>> = vec![None; k];
         let mut out = BTreeSet::new();
         let (mut evals, mut hits) = (0u64, 0u64);
+        let mut truncation = None;
+        let mut processed = 0usize;
         for (v, &c) in classes.iter().enumerate() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
             if outputs[c as usize].is_none() {
                 evals += 1;
                 trace_miss("engine/po/miss", v, c as i64);
@@ -235,7 +285,10 @@ impl<'g> ViewEngine<'g> {
             } else {
                 hits += 1;
             }
-            let bits = outputs[c as usize].as_ref().expect("just filled");
+            processed += 1;
+            let Some(bits) = outputs[c as usize].as_ref() else {
+                continue; // just filled above
+            };
             for &(letter, selected) in bits {
                 if !selected {
                     continue;
@@ -245,20 +298,21 @@ impl<'g> ViewEngine<'g> {
                 } else {
                     d.out_neighbor(v, letter.label)
                 };
-                let u = target.unwrap_or_else(|| {
-                    panic!("algorithm selected absent letter {letter} at node {v}")
-                });
+                let Some(u) = target else {
+                    return Err(
+                        RunError::AbsentLetter { node: v, letter: letter.to_string() }.publish()
+                    );
+                };
                 out.insert(Edge::new(v, u));
             }
         }
-        self.run_stats.vertices += classes.len();
+        self.run_stats.vertices += processed;
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         self.run_stats.classes = outputs.iter().filter(|o| o.is_some()).count();
-        self.obs.publish(classes.len(), self.run_stats.classes, evals, hits);
-        trace_dedup("engine/po/dedup", classes.len(), self.run_stats.classes, evals, hits);
-        let _ = k;
-        out
+        self.obs.publish(processed, self.run_stats.classes, evals, hits);
+        trace_dedup("engine/po/dedup", processed, self.run_stats.classes, evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 }
 
@@ -296,50 +350,112 @@ impl<'g> OiEngine<'g> {
         ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch)
     }
 
+    /// The `rank` length precondition, shared by both run paths.
+    fn validate(&self) -> Result<(), RunError> {
+        if self.rank.len() != self.g.node_count() {
+            return Err(RunError::InputLengthMismatch {
+                what: "rank",
+                expected: self.g.node_count(),
+                actual: self.rank.len(),
+            }
+            .publish());
+        }
+        Ok(())
+    }
+
     /// Runs an OI vertex algorithm, evaluating once per distinct type.
     /// Bit-identical to [`crate::run::oi_vertex_naive`].
-    pub fn run_vertex<A: OiVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InputLengthMismatch`] when `rank` does not cover
+    /// every node.
+    pub fn run_vertex<A: OiVertexAlgorithm>(&mut self, algo: &A) -> Result<Vec<bool>, RunError> {
+        Ok(self.run_vertex_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`OiEngine::run_vertex`]: the cache cap bounds the
+    /// type-interning memo and the deadline is checked per vertex; on
+    /// truncation the value is the per-vertex prefix computed so far.
+    pub fn run_vertex_budgeted<A: OiVertexAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<Vec<bool>>, RunError> {
+        self.validate()?;
         let _span = obs::span("engine/oi/run_vertex");
         let r = algo.radius();
         let mut memo: HashMap<OrderedNbhd, bool> = HashMap::new();
         let (mut evals, mut hits) = (0u64, 0u64);
-        let out: Vec<bool> = (0..self.g.node_count())
-            .map(|v| {
-                let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
-                match memo.get(&t) {
-                    Some(&b) => {
-                        hits += 1;
-                        b
-                    }
-                    None => {
-                        evals += 1;
-                        trace_miss("engine/oi/miss", v, memo.len() as i64);
-                        let b = algo.evaluate(&t);
-                        memo.insert(t, b);
-                        b
-                    }
+        let mut out = Vec::with_capacity(self.g.node_count());
+        let mut truncation = None;
+        for v in 0..self.g.node_count() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
+            let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
+            let bit = match memo.get(&t) {
+                Some(&b) => {
+                    hits += 1;
+                    b
                 }
-            })
-            .collect();
-        self.run_stats.vertices += self.g.node_count();
+                None => {
+                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                        truncation = Some(tr.publish());
+                        break;
+                    }
+                    evals += 1;
+                    trace_miss("engine/oi/miss", v, memo.len() as i64);
+                    let b = algo.evaluate(&t);
+                    memo.insert(t, b);
+                    b
+                }
+            };
+            out.push(bit);
+        }
+        self.run_stats.vertices += out.len();
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
-        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
-        trace_dedup("engine/oi/dedup", self.g.node_count(), memo.len(), evals, hits);
-        out
+        self.obs.publish(out.len(), memo.len(), evals, hits);
+        trace_dedup("engine/oi/dedup", out.len(), memo.len(), evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 
     /// Runs an OI edge algorithm, evaluating once per distinct type; the
-    /// per-vertex assembly (degree assertion included) matches
+    /// per-vertex assembly (degree check included) matches
     /// [`crate::run::oi_edge_naive`].
-    pub fn run_edge<A: OiEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InputLengthMismatch`] for a short `rank`,
+    /// [`RunError::OutputLengthMismatch`] when the algorithm's output
+    /// does not match a node's degree.
+    pub fn run_edge<A: OiEdgeAlgorithm>(&mut self, algo: &A) -> Result<BTreeSet<Edge>, RunError> {
+        Ok(self.run_edge_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`OiEngine::run_edge`]; on truncation the value
+    /// holds the edges selected by the vertices processed so far.
+    pub fn run_edge_budgeted<A: OiEdgeAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<BTreeSet<Edge>>, RunError> {
+        self.validate()?;
         let _span = obs::span("engine/oi/run_edge");
         let r = algo.radius();
         let mut memo: HashMap<OrderedNbhd, Vec<bool>> = HashMap::new();
         let mut out = BTreeSet::new();
         let (mut evals, mut hits) = (0u64, 0u64);
+        let mut truncation = None;
+        let mut processed = 0usize;
         for v in self.g.nodes() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
             let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
             let bits = match memo.get(&t) {
                 Some(b) => {
@@ -347,6 +463,10 @@ impl<'g> OiEngine<'g> {
                     b.clone()
                 }
                 None => {
+                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                        truncation = Some(tr.publish());
+                        break;
+                    }
                     evals += 1;
                     trace_miss("engine/oi/miss", v, memo.len() as i64);
                     let b = algo.evaluate(&t);
@@ -354,7 +474,15 @@ impl<'g> OiEngine<'g> {
                     b
                 }
             };
-            assert_eq!(bits.len(), self.g.degree(v), "edge output must match degree of node {v}");
+            processed += 1;
+            if bits.len() != self.g.degree(v) {
+                return Err(RunError::OutputLengthMismatch {
+                    node: v,
+                    expected: self.g.degree(v),
+                    actual: bits.len(),
+                }
+                .publish());
+            }
             let mut nbrs = self.g.neighbors(v).to_vec();
             nbrs.sort_by_key(|&u| self.rank[u]);
             for (i, &u) in nbrs.iter().enumerate() {
@@ -363,13 +491,13 @@ impl<'g> OiEngine<'g> {
                 }
             }
         }
-        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.vertices += processed;
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
-        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
-        trace_dedup("engine/oi/dedup", self.g.node_count(), memo.len(), evals, hits);
-        out
+        self.obs.publish(processed, memo.len(), evals, hits);
+        trace_dedup("engine/oi/dedup", processed, memo.len(), evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 }
 
@@ -409,49 +537,110 @@ impl<'g> IdEngine<'g> {
         id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch)
     }
 
+    /// The `ids` length precondition, shared by both run paths.
+    fn validate(&self) -> Result<(), RunError> {
+        if self.ids.len() != self.g.node_count() {
+            return Err(RunError::InputLengthMismatch {
+                what: "ids",
+                expected: self.g.node_count(),
+                actual: self.ids.len(),
+            }
+            .publish());
+        }
+        Ok(())
+    }
+
     /// Runs an ID vertex algorithm, evaluating once per distinct
     /// neighbourhood. Bit-identical to [`crate::run::id_vertex_naive`].
-    pub fn run_vertex<A: IdVertexAlgorithm>(&mut self, algo: &A) -> Vec<bool> {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InputLengthMismatch`] when `ids` does not cover
+    /// every node.
+    pub fn run_vertex<A: IdVertexAlgorithm>(&mut self, algo: &A) -> Result<Vec<bool>, RunError> {
+        Ok(self.run_vertex_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`IdEngine::run_vertex`]; on truncation the value
+    /// is the per-vertex prefix computed so far.
+    pub fn run_vertex_budgeted<A: IdVertexAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<Vec<bool>>, RunError> {
+        self.validate()?;
         let _span = obs::span("engine/id/run_vertex");
         let r = algo.radius();
         let mut memo: HashMap<IdNbhd, bool> = HashMap::new();
         let (mut evals, mut hits) = (0u64, 0u64);
-        let out: Vec<bool> = (0..self.g.node_count())
-            .map(|v| {
-                let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
-                match memo.get(&t) {
-                    Some(&b) => {
-                        hits += 1;
-                        b
-                    }
-                    None => {
-                        evals += 1;
-                        trace_miss("engine/id/miss", v, memo.len() as i64);
-                        let b = algo.evaluate(&t);
-                        memo.insert(t, b);
-                        b
-                    }
+        let mut out = Vec::with_capacity(self.g.node_count());
+        let mut truncation = None;
+        for v in 0..self.g.node_count() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
+            let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
+            let bit = match memo.get(&t) {
+                Some(&b) => {
+                    hits += 1;
+                    b
                 }
-            })
-            .collect();
-        self.run_stats.vertices += self.g.node_count();
+                None => {
+                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                        truncation = Some(tr.publish());
+                        break;
+                    }
+                    evals += 1;
+                    trace_miss("engine/id/miss", v, memo.len() as i64);
+                    let b = algo.evaluate(&t);
+                    memo.insert(t, b);
+                    b
+                }
+            };
+            out.push(bit);
+        }
+        self.run_stats.vertices += out.len();
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
-        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
-        trace_dedup("engine/id/dedup", self.g.node_count(), memo.len(), evals, hits);
-        out
+        self.obs.publish(out.len(), memo.len(), evals, hits);
+        trace_dedup("engine/id/dedup", out.len(), memo.len(), evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 
     /// Runs an ID edge algorithm; assembly matches
     /// [`crate::run::id_edge_naive`].
-    pub fn run_edge<A: IdEdgeAlgorithm>(&mut self, algo: &A) -> BTreeSet<Edge> {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InputLengthMismatch`] for short `ids`,
+    /// [`RunError::OutputLengthMismatch`] when the algorithm's output
+    /// does not match a node's degree.
+    pub fn run_edge<A: IdEdgeAlgorithm>(&mut self, algo: &A) -> Result<BTreeSet<Edge>, RunError> {
+        Ok(self.run_edge_budgeted(algo, &RunBudget::unlimited())?.value)
+    }
+
+    /// Budget-aware [`IdEngine::run_edge`]; on truncation the value
+    /// holds the edges selected by the vertices processed so far.
+    pub fn run_edge_budgeted<A: IdEdgeAlgorithm>(
+        &mut self,
+        algo: &A,
+        budget: &RunBudget,
+    ) -> Result<Budgeted<BTreeSet<Edge>>, RunError> {
+        self.validate()?;
         let _span = obs::span("engine/id/run_edge");
         let r = algo.radius();
         let mut memo: HashMap<IdNbhd, Vec<bool>> = HashMap::new();
         let mut out = BTreeSet::new();
         let (mut evals, mut hits) = (0u64, 0u64);
+        let mut truncation = None;
+        let mut processed = 0usize;
         for v in self.g.nodes() {
+            if let Some(t) = budget.check_deadline() {
+                truncation = Some(t.publish());
+                break;
+            }
             let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
             let bits = match memo.get(&t) {
                 Some(b) => {
@@ -459,6 +648,10 @@ impl<'g> IdEngine<'g> {
                     b.clone()
                 }
                 None => {
+                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                        truncation = Some(tr.publish());
+                        break;
+                    }
                     evals += 1;
                     trace_miss("engine/id/miss", v, memo.len() as i64);
                     let b = algo.evaluate(&t);
@@ -466,7 +659,15 @@ impl<'g> IdEngine<'g> {
                     b
                 }
             };
-            assert_eq!(bits.len(), self.g.degree(v), "edge output must match degree of node {v}");
+            processed += 1;
+            if bits.len() != self.g.degree(v) {
+                return Err(RunError::OutputLengthMismatch {
+                    node: v,
+                    expected: self.g.degree(v),
+                    actual: bits.len(),
+                }
+                .publish());
+            }
             let mut nbrs = self.g.neighbors(v).to_vec();
             nbrs.sort_by_key(|&u| self.ids[u]);
             for (i, &u) in nbrs.iter().enumerate() {
@@ -475,13 +676,13 @@ impl<'g> IdEngine<'g> {
                 }
             }
         }
-        self.run_stats.vertices += self.g.node_count();
+        self.run_stats.vertices += processed;
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
         self.run_stats.classes = memo.len();
-        self.obs.publish(self.g.node_count(), memo.len(), evals, hits);
-        trace_dedup("engine/id/dedup", self.g.node_count(), memo.len(), evals, hits);
-        out
+        self.obs.publish(processed, memo.len(), evals, hits);
+        trace_dedup("engine/id/dedup", processed, memo.len(), evals, hits);
+        Ok(Budgeted { value: out, truncation })
     }
 }
 
@@ -524,7 +725,7 @@ mod tests {
         }
         let d = gen::directed_cycle(50);
         let mut engine = ViewEngine::new(&d);
-        let bits = engine.run_vertex(&JoinAll);
+        let bits = engine.run_vertex(&JoinAll).unwrap();
         assert!(bits.iter().all(|&b| b));
         let stats = engine.run_stats();
         assert_eq!(stats.vertices, 50);
@@ -537,8 +738,8 @@ mod tests {
     fn po_edge_engine_matches_naive() {
         let d = gen::directed_cycle(5);
         let mut engine = ViewEngine::new(&d);
-        let set = engine.run_edge(&OutZero);
-        assert_eq!(set, crate::run::po_edge_naive(&d, &OutZero));
+        let set = engine.run_edge(&OutZero).unwrap();
+        assert_eq!(set, crate::run::po_edge_naive(&d, &OutZero).unwrap());
         assert_eq!(set.len(), 5);
     }
 
@@ -547,8 +748,8 @@ mod tests {
         let g = gen::cycle(100);
         let rank: Vec<usize> = (0..100).collect();
         let mut engine = OiEngine::new(&g, &rank);
-        let bits = engine.run_vertex(&LocalMin);
-        assert_eq!(bits, crate::run::oi_vertex_naive(&g, &rank, &LocalMin));
+        let bits = engine.run_vertex(&LocalMin).unwrap();
+        assert_eq!(bits, crate::run::oi_vertex_naive(&g, &rank, &LocalMin).unwrap());
         let stats = engine.run_stats();
         assert_eq!(stats.classes, 3, "interior + two seam types");
         assert_eq!(stats.evals, 3);
@@ -570,8 +771,8 @@ mod tests {
         let ids = vec![10, 60, 20, 50, 30, 40];
         let mut engine = IdEngine::new(&g, &ids);
         assert_eq!(
-            engine.run_vertex(&LocalMaxId),
-            crate::run::id_vertex_naive(&g, &ids, &LocalMaxId)
+            engine.run_vertex(&LocalMaxId).unwrap(),
+            crate::run::id_vertex_naive(&g, &ids, &LocalMaxId).unwrap()
         );
         // every ball carries distinct ids: no dedup expected
         assert_eq!(engine.run_stats().classes, 6);

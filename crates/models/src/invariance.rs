@@ -10,6 +10,7 @@ use rand::Rng;
 
 use locap_graph::Graph;
 
+use crate::error::RunError;
 use crate::run;
 use crate::IdVertexAlgorithm;
 
@@ -48,26 +49,32 @@ impl InvarianceReport {
 
 /// Tests whether an ID vertex algorithm's output on `(g, ids)` is stable
 /// under `trials` random order-preserving relabellings.
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] of the underlying runs (in practice only
+/// [`RunError::InputLengthMismatch`] for short `ids`; relabelling
+/// preserves length, so the first run decides).
 pub fn test_order_invariance<A: IdVertexAlgorithm, R: Rng>(
     g: &Graph,
     ids: &[u64],
     algo: &A,
     trials: usize,
     rng: &mut R,
-) -> InvarianceReport {
-    let baseline = run::id_vertex(g, ids, algo);
+) -> Result<InvarianceReport, RunError> {
+    let baseline = run::id_vertex(g, ids, algo)?;
     let mut violations = 0;
     let mut min_agreement = 1.0f64;
     for _ in 0..trials {
         let relabelled = respace_ids(ids, rng);
-        let out = run::id_vertex(g, &relabelled, algo);
+        let out = run::id_vertex(g, &relabelled, algo)?;
         let agree = run::agreement(&baseline, &out);
         if agree < 1.0 {
             violations += 1;
         }
         min_agreement = min_agreement.min(agree);
     }
-    InvarianceReport { trials, violations, min_agreement }
+    Ok(InvarianceReport { trials, violations, min_agreement })
 }
 
 #[cfg(test)]
@@ -121,7 +128,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = gen::cycle(8);
         let ids = vec![5, 81, 12, 44, 90, 3, 27, 66];
-        let rep = test_order_invariance(&g, &ids, &LocalMax, 30, &mut rng);
+        let rep = test_order_invariance(&g, &ids, &LocalMax, 30, &mut rng).unwrap();
         assert!(rep.is_invariant());
         assert_eq!(rep.violations, 0);
         assert!((rep.min_agreement - 1.0).abs() < 1e-12);
@@ -132,7 +139,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = gen::cycle(8);
         let ids = vec![5, 81, 12, 44, 90, 3, 27, 66];
-        let rep = test_order_invariance(&g, &ids, &EvenId, 30, &mut rng);
+        let rep = test_order_invariance(&g, &ids, &EvenId, 30, &mut rng).unwrap();
         assert!(!rep.is_invariant());
         assert!(rep.min_agreement < 1.0);
     }

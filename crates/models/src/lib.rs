@@ -29,11 +29,13 @@
 
 pub mod checkable;
 pub mod engine;
+pub mod error;
 pub mod invariance;
 pub mod run;
 pub mod sim;
 mod traits;
 
+pub use error::RunError;
 pub use traits::{
     IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
     PoTableAlgorithm, PoVertexAlgorithm,

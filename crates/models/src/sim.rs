@@ -9,11 +9,25 @@
 //!
 //! In each round every node produces one outgoing message per port; the
 //! message sent by `v` on the port leading to `u` is delivered to `u` on
-//! the port leading back to `v` at the start of the next round. Execution
-//! stops when every node has halted or after `max_rounds`.
+//! the port leading back to `v` at the start of the next round. A node
+//! for which [`SyncAlgorithm::halted`] holds is **frozen**: its `round`
+//! function is not called again and it sends no further messages (its
+//! last outbox is the one written by the round that moved it into a
+//! halted state). Execution stops when every node has halted or when the
+//! [`RunBudget`] is exhausted, in which case the result carries the
+//! states after the last completed round plus a
+//! [`TruncationReason`](locap_graph::budget::TruncationReason).
+//!
+//! All input preconditions (identifiers present and covering every node,
+//! input slices of the right length, ports consistent with the graph,
+//! orientations covering every edge) surface as typed
+//! [`RunError`]s — the simulator never panics on malformed input.
 
-use locap_graph::{Graph, Orientation, PortNumbering};
+use locap_graph::budget::{RunBudget, TruncationReason};
+use locap_graph::{Graph, GraphError, Orientation, PortNumbering};
 use locap_obs as obs;
+
+use crate::error::RunError;
 
 /// Per-node static context available at initialisation.
 #[derive(Debug, Clone)]
@@ -29,6 +43,29 @@ pub struct NodeCtx {
     pub input: Option<u64>,
 }
 
+impl NodeCtx {
+    /// The identifier, or a published [`RunError::MissingIds`] for
+    /// anonymous runs — the typed replacement for `ctx.id.expect(…)` in
+    /// ID-model [`SyncAlgorithm::init`] implementations.
+    pub fn require_id(&self) -> Result<u64, RunError> {
+        self.id.ok_or_else(|| RunError::MissingIds.publish())
+    }
+
+    /// The local input, or a published [`RunError::MissingInputs`].
+    pub fn require_input(&self) -> Result<u64, RunError> {
+        self.input.ok_or_else(|| RunError::MissingInputs.publish())
+    }
+
+    /// The port orientation, or a published
+    /// [`RunError::MissingOrientation`].
+    pub fn require_port_out(&self) -> Result<&[bool], RunError> {
+        match &self.port_out {
+            Some(p) => Ok(p),
+            None => Err(RunError::MissingOrientation.publish()),
+        }
+    }
+}
+
 /// A synchronous message-passing algorithm.
 pub trait SyncAlgorithm {
     /// Per-node state.
@@ -36,12 +73,14 @@ pub trait SyncAlgorithm {
     /// Message type.
     type Msg: Clone;
 
-    /// Initialises a node's state from its static context.
-    fn init(&self, ctx: &NodeCtx) -> Self::State;
+    /// Initialises a node's state from its static context. Missing
+    /// model data (identifiers, inputs, orientation) is a typed error,
+    /// not a panic — see the [`NodeCtx::require_id`] family.
+    fn init(&self, ctx: &NodeCtx) -> Result<Self::State, RunError>;
 
     /// One synchronous round: consume the inbox (one slot per port;
     /// `None` in round 0) and fill the outbox (one slot per port).
-    /// Returns the new state.
+    /// Returns the new state. Not called on halted nodes.
     fn round(
         &self,
         state: Self::State,
@@ -50,8 +89,8 @@ pub trait SyncAlgorithm {
         outbox: &mut [Option<Self::Msg>],
     ) -> Self::State;
 
-    /// Whether the node has halted (its state is final and it sends no
-    /// further messages).
+    /// Whether the node has halted: its state is final, its `round`
+    /// function is no longer called, and it sends no further messages.
     fn halted(&self, state: &Self::State) -> bool;
 }
 
@@ -62,14 +101,25 @@ pub struct SimResult<S> {
     pub states: Vec<S>,
     /// Number of rounds executed.
     pub rounds: usize,
-    /// Whether every node halted within the round budget.
+    /// Whether every node halted within the budget.
     pub all_halted: bool,
+    /// Why the run stopped early, if the budget cut it short. The
+    /// states are those after the last *completed* round — a
+    /// well-defined partial result.
+    pub truncation: Option<TruncationReason>,
 }
 
-/// Runs a [`SyncAlgorithm`] on `(g, ports)`.
+/// Runs a [`SyncAlgorithm`] on `(g, ports)` for at most `max_rounds`
+/// rounds.
 ///
 /// `ids` supplies identifiers (ID model) and `orientation` the edge
 /// directions (PO model); pass `None` for anonymous/undirected runs.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] when the algorithm needs model data the run
+/// does not supply, when `ids` is shorter than the node count, or when
+/// `ports`/`orientation` are inconsistent with `g`.
 pub fn run_sync<A: SyncAlgorithm>(
     g: &Graph,
     ports: &PortNumbering,
@@ -77,7 +127,7 @@ pub fn run_sync<A: SyncAlgorithm>(
     orientation: Option<&Orientation>,
     algo: &A,
     max_rounds: usize,
-) -> SimResult<A::State> {
+) -> Result<SimResult<A::State>, RunError> {
     run_sync_with_inputs(g, ports, ids, orientation, None, algo, max_rounds)
 }
 
@@ -90,34 +140,97 @@ pub fn run_sync_with_inputs<A: SyncAlgorithm>(
     inputs: Option<&[u64]>,
     algo: &A,
     max_rounds: usize,
-) -> SimResult<A::State> {
+) -> Result<SimResult<A::State>, RunError> {
+    let budget = RunBudget::unlimited().with_max_rounds(max_rounds);
+    run_sync_budgeted(g, ports, ids, orientation, inputs, algo, &budget)
+}
+
+/// Runs a [`SyncAlgorithm`] under an explicit [`RunBudget`].
+///
+/// The budget's round cap and deadline are checked before every round;
+/// on exhaustion the result carries the states after the last completed
+/// round and a [`TruncationReason`]. A budget without a round cap or
+/// deadline does not terminate a never-halting algorithm — supply at
+/// least one bound for untrusted algorithms.
+///
+/// # Errors
+///
+/// See [`run_sync`].
+pub fn run_sync_budgeted<A: SyncAlgorithm>(
+    g: &Graph,
+    ports: &PortNumbering,
+    ids: Option<&[u64]>,
+    orientation: Option<&Orientation>,
+    inputs: Option<&[u64]>,
+    algo: &A,
+    budget: &RunBudget,
+) -> Result<SimResult<A::State>, RunError> {
     let n = g.node_count();
-    let mut states: Vec<A::State> = (0..n)
-        .map(|v| {
-            let port_out = orientation.map(|o| {
-                (0..g.degree(v))
-                    .map(|i| {
-                        let u = ports.neighbor(v, i).expect("port in range");
-                        o.directed(v, u).expect("edge is oriented").0 == v
-                    })
-                    .collect()
-            });
-            algo.init(&NodeCtx {
-                degree: g.degree(v),
-                id: ids.map(|ids| ids[v]),
-                port_out,
-                input: inputs.map(|inp| inp[v]),
-            })
-        })
-        .collect();
+    if ports.node_count() != n {
+        return Err(RunError::InputLengthMismatch {
+            what: "ports",
+            expected: n,
+            actual: ports.node_count(),
+        }
+        .publish());
+    }
+    if let Some(ids) = ids {
+        if ids.len() != n {
+            return Err(RunError::InputLengthMismatch {
+                what: "ids",
+                expected: n,
+                actual: ids.len(),
+            }
+            .publish());
+        }
+    }
+    if let Some(inputs) = inputs {
+        if inputs.len() != n {
+            return Err(RunError::InputLengthMismatch {
+                what: "inputs",
+                expected: n,
+                actual: inputs.len(),
+            }
+            .publish());
+        }
+    }
+
+    let mut states: Vec<A::State> = Vec::with_capacity(n);
+    for v in 0..n {
+        let port_out = match orientation {
+            Some(o) => {
+                let mut out = Vec::with_capacity(g.degree(v));
+                for i in 0..g.degree(v) {
+                    let u = port_neighbor(ports, v, i)?;
+                    let (tail, _) = o
+                        .directed(v, u)
+                        .ok_or_else(|| RunError::UnorientedEdge { u: v, v: u }.publish())?;
+                    out.push(tail == v);
+                }
+                Some(out)
+            }
+            None => None,
+        };
+        states.push(algo.init(&NodeCtx {
+            degree: g.degree(v),
+            id: ids.map(|ids| ids[v]),
+            port_out,
+            input: inputs.map(|inp| inp[v]),
+        })?);
+    }
 
     // inboxes[v][i] = message waiting at v's port i
     let mut inboxes: Vec<Vec<Option<A::Msg>>> = (0..n).map(|v| vec![None; g.degree(v)]).collect();
     let mut rounds = 0;
+    let mut truncation = None;
     let mut run_span = obs::span_with("sim/run", &[("nodes", n as i64)]);
     let msgs_total = obs::counter("sim/messages");
-    for round in 0..max_rounds {
+    for round in 0.. {
         if states.iter().all(|s| algo.halted(s)) {
+            break;
+        }
+        if let Some(t) = budget.check_rounds(round).or_else(|| budget.check_deadline()) {
+            truncation = Some(t.publish());
             break;
         }
         rounds = round + 1;
@@ -126,13 +239,28 @@ pub fn run_sync_with_inputs<A: SyncAlgorithm>(
         let mut next_inboxes: Vec<Vec<Option<A::Msg>>> =
             (0..n).map(|v| vec![None; g.degree(v)]).collect();
         for v in 0..n {
+            // frozen: a halted node's round function is not called and
+            // its (empty) outbox sends nothing
+            if algo.halted(&states[v]) {
+                continue;
+            }
             let mut outbox: Vec<Option<A::Msg>> = vec![None; g.degree(v)];
             let state = states[v].clone();
             states[v] = algo.round(state, round, &inboxes[v], &mut outbox);
             for (i, msg) in outbox.into_iter().enumerate() {
                 if let Some(m) = msg {
-                    let u = ports.neighbor(v, i).expect("port in range");
-                    let back = ports.port_to(u, v).expect("reverse port exists");
+                    let u = port_neighbor(ports, v, i)?;
+                    let back = ports
+                        .port_to(u, v)
+                        .ok_or_else(|| RunError::MissingReversePort { from: v, to: u }.publish())?;
+                    if u >= n || back >= next_inboxes[u].len() {
+                        return Err(RunError::PortOutOfRange {
+                            node: u,
+                            port: back,
+                            degree: next_inboxes.get(u).map_or(0, Vec::len),
+                        }
+                        .publish());
+                    }
                     next_inboxes[u][back] = Some(m);
                     messages += 1;
                 }
@@ -144,7 +272,23 @@ pub fn run_sync_with_inputs<A: SyncAlgorithm>(
     }
     let all_halted = states.iter().all(|s| algo.halted(s));
     run_span.arg("rounds", rounds as i64);
-    SimResult { states, rounds, all_halted }
+    Ok(SimResult { states, rounds, all_halted, truncation })
+}
+
+/// `ports.neighbor` with its two failure modes mapped to typed errors:
+/// a port with no neighbour entry and a neighbour outside the graph.
+fn port_neighbor(ports: &PortNumbering, v: usize, i: usize) -> Result<usize, RunError> {
+    match ports.neighbor(v, i) {
+        Some(u) if u < ports.node_count() => Ok(u),
+        Some(u) => {
+            Err(RunError::Graph(GraphError::NodeOutOfRange { node: u, n: ports.node_count() })
+                .publish())
+        }
+        None => {
+            Err(RunError::PortOutOfRange { node: v, port: i, degree: ports.ports(v).len() }
+                .publish())
+        }
+    }
 }
 
 /// A gossip algorithm that floods identifiers for `r` rounds — used to
@@ -171,12 +315,8 @@ impl SyncAlgorithm for GossipIds {
     type State = GossipState;
     type Msg = Vec<u64>;
 
-    fn init(&self, ctx: &NodeCtx) -> GossipState {
-        GossipState {
-            heard: vec![ctx.id.expect("GossipIds needs identifiers")],
-            step: 0,
-            total: self.rounds,
-        }
+    fn init(&self, ctx: &NodeCtx) -> Result<GossipState, RunError> {
+        Ok(GossipState { heard: vec![ctx.require_id()?], step: 0, total: self.rounds })
     }
 
     fn round(
@@ -221,8 +361,10 @@ mod tests {
         let ports = PortNumbering::sorted(&g);
         let ids: Vec<u64> = (0..10).map(|v| (v as u64) * 7 + 3).collect();
         for r in 0..4 {
-            let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: r }, 100);
+            let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: r }, 100)
+                .expect("well-formed run");
             assert!(res.all_halted);
+            assert_eq!(res.truncation, None);
             assert_eq!(res.rounds, r + 1, "r rounds of flooding + 1 to drain");
             for v in g.nodes() {
                 let expected: Vec<u64> = {
@@ -235,14 +377,71 @@ mod tests {
     }
 
     #[test]
+    fn gossip_on_anonymous_run_is_a_typed_error() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&g);
+        let res = run_sync(&g, &ports, None, None, &GossipIds { rounds: 2 }, 10);
+        assert_eq!(res.unwrap_err(), RunError::MissingIds);
+    }
+
+    #[test]
+    fn short_id_slice_is_a_typed_error() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&g);
+        let ids = vec![1u64, 2, 3]; // 3 < 6
+        let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: 1 }, 10);
+        assert_eq!(
+            res.unwrap_err(),
+            RunError::InputLengthMismatch { what: "ids", expected: 6, actual: 3 }
+        );
+    }
+
+    #[test]
+    fn unoriented_edge_is_a_typed_error() {
+        struct NeedsOrientation;
+        impl SyncAlgorithm for NeedsOrientation {
+            type State = usize;
+            type Msg = ();
+            fn init(&self, ctx: &NodeCtx) -> Result<usize, RunError> {
+                Ok(ctx.require_port_out()?.len())
+            }
+            fn round(&self, s: usize, _: usize, _: &[Option<()>], _: &mut [Option<()>]) -> usize {
+                s
+            }
+            fn halted(&self, _: &usize) -> bool {
+                true
+            }
+        }
+        let g = gen::cycle(5);
+        let ports = PortNumbering::sorted(&g);
+        // orientation built from a path on the same nodes: the closing
+        // edge {0, 4} of the cycle is not oriented
+        let orient = Orientation::from_smaller(&gen::path(5));
+        let res = run_sync(&g, &ports, None, Some(&orient), &NeedsOrientation, 5);
+        assert!(matches!(res.unwrap_err(), RunError::UnorientedEdge { .. }));
+    }
+
+    #[test]
+    fn mismatched_ports_are_a_typed_error() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&gen::cycle(4)); // wrong node count
+        let ids: Vec<u64> = (0..6).collect();
+        let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: 1 }, 10);
+        assert_eq!(
+            res.unwrap_err(),
+            RunError::InputLengthMismatch { what: "ports", expected: 6, actual: 4 }
+        );
+    }
+
+    #[test]
     fn orientation_reaches_nodes() {
         // An algorithm that outputs its out-degree via port_out.
         struct OutDeg;
         impl SyncAlgorithm for OutDeg {
             type State = usize;
             type Msg = ();
-            fn init(&self, ctx: &NodeCtx) -> usize {
-                ctx.port_out.as_ref().expect("PO run").iter().filter(|&&b| b).count()
+            fn init(&self, ctx: &NodeCtx) -> Result<usize, RunError> {
+                Ok(ctx.require_port_out()?.iter().filter(|&&b| b).count())
             }
             fn round(&self, s: usize, _: usize, _: &[Option<()>], _: &mut [Option<()>]) -> usize {
                 s
@@ -254,7 +453,7 @@ mod tests {
         let g = gen::path(3);
         let ports = PortNumbering::sorted(&g);
         let orient = Orientation::from_smaller(&g);
-        let res = run_sync(&g, &ports, None, Some(&orient), &OutDeg, 10);
+        let res = run_sync(&g, &ports, None, Some(&orient), &OutDeg, 10).expect("well-formed run");
         assert_eq!(res.states, vec![1, 1, 0]); // 0->1, 1->2
         assert!(res.all_halted);
         assert_eq!(res.rounds, 0, "everyone halts immediately");
@@ -266,8 +465,8 @@ mod tests {
         impl SyncAlgorithm for Forever {
             type State = u32;
             type Msg = ();
-            fn init(&self, _: &NodeCtx) -> u32 {
-                0
+            fn init(&self, _: &NodeCtx) -> Result<u32, RunError> {
+                Ok(0)
             }
             fn round(&self, s: u32, _: usize, _: &[Option<()>], _: &mut [Option<()>]) -> u32 {
                 s + 1
@@ -278,10 +477,112 @@ mod tests {
         }
         let g = gen::cycle(4);
         let ports = PortNumbering::sorted(&g);
-        let res = run_sync(&g, &ports, None, None, &Forever, 17);
+        let res = run_sync(&g, &ports, None, None, &Forever, 17).expect("well-formed run");
         assert_eq!(res.rounds, 17);
         assert!(!res.all_halted);
+        assert_eq!(res.truncation, Some(TruncationReason::RoundLimit { limit: 17 }));
         assert!(res.states.iter().all(|&s| s == 17));
+    }
+
+    #[test]
+    fn deadline_budget_returns_partial_states() {
+        use locap_graph::budget::ManualClock;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        struct Ticker(Arc<ManualClock>);
+        impl SyncAlgorithm for Ticker {
+            type State = u32;
+            type Msg = ();
+            fn init(&self, _: &NodeCtx) -> Result<u32, RunError> {
+                Ok(0)
+            }
+            fn round(&self, s: u32, _: usize, _: &[Option<()>], _: &mut [Option<()>]) -> u32 {
+                self.0.advance(Duration::from_millis(4));
+                s + 1
+            }
+            fn halted(&self, _: &u32) -> bool {
+                false
+            }
+        }
+        let g = gen::cycle(3);
+        let ports = PortNumbering::sorted(&g);
+        let clock = Arc::new(ManualClock::new());
+        let budget = RunBudget::unlimited()
+            .with_deadline(Duration::from_millis(20), Arc::clone(&clock) as _);
+        let res =
+            run_sync_budgeted(&g, &ports, None, None, None, &Ticker(Arc::clone(&clock)), &budget)
+                .expect("well-formed run");
+        // each round advances the clock 3 × 4 ms; the deadline trips
+        // after round 2 (24 ms > 20 ms), leaving 2 completed rounds
+        assert_eq!(res.rounds, 2);
+        assert!(!res.all_halted);
+        assert!(matches!(res.truncation, Some(TruncationReason::DeadlineExceeded { .. })));
+        assert!(res.states.iter().all(|&s| s == 2), "states after the last completed round");
+    }
+
+    #[test]
+    fn halted_nodes_freeze_while_neighbours_continue() {
+        // Every node sends its id on all ports every round it runs and
+        // halts once its step count reaches its input. On a path with
+        // inputs [1, 3, 3], node 0 halts after one round; under the
+        // halted contract node 1 must hear from it exactly once, while
+        // still hearing from node 2 in every consumed round.
+        struct HaltAt;
+        #[derive(Clone)]
+        struct St {
+            id: u64,
+            stop: u64,
+            step: u64,
+            got: Vec<(usize, u64)>,
+        }
+        impl SyncAlgorithm for HaltAt {
+            type State = St;
+            type Msg = u64;
+            fn init(&self, ctx: &NodeCtx) -> Result<St, RunError> {
+                Ok(St { id: ctx.require_id()?, stop: ctx.require_input()?, step: 0, got: vec![] })
+            }
+            fn round(
+                &self,
+                mut s: St,
+                _: usize,
+                inbox: &[Option<u64>],
+                outbox: &mut [Option<u64>],
+            ) -> St {
+                for (i, m) in inbox.iter().enumerate() {
+                    if let Some(x) = m {
+                        s.got.push((i, *x));
+                    }
+                }
+                for slot in outbox.iter_mut() {
+                    *slot = Some(s.id);
+                }
+                s.step += 1;
+                s
+            }
+            fn halted(&self, s: &St) -> bool {
+                s.step >= s.stop
+            }
+        }
+        let g = gen::path(3); // 0-1-2
+        let ports = PortNumbering::sorted(&g);
+        let ids = vec![10u64, 20, 30];
+        let inputs = vec![1u64, 3, 3];
+        let res = run_sync_with_inputs(&g, &ports, Some(&ids), None, Some(&inputs), &HaltAt, 10)
+            .expect("well-formed run");
+        assert!(res.all_halted);
+        assert_eq!(res.rounds, 3);
+        // node 0 halted after round 0: node 1 hears 10 once (round 1),
+        // not in round 2 — a frozen node sends no further messages
+        let from_0: Vec<_> = res.states[1].got.iter().filter(|(p, _)| *p == 0).collect();
+        assert_eq!(from_0.len(), 1, "exactly one message from the halted node");
+        // node 2 ran rounds 0 and 1 before halting at step 2... it stops
+        // at step >= 3, so it sends in rounds 0, 1, 2; node 1 consumes
+        // inboxes in rounds 1 and 2 only (it halts before round 3)
+        let from_2: Vec<_> = res.states[1].got.iter().filter(|(p, _)| *p == 1).collect();
+        assert_eq!(from_2.len(), 2);
+        // the frozen node's own state is untouched after halting
+        assert_eq!(res.states[0].step, 1);
     }
 
     #[test]
@@ -298,8 +599,8 @@ mod tests {
         impl SyncAlgorithm for PortEcho {
             type State = St;
             type Msg = u64;
-            fn init(&self, ctx: &NodeCtx) -> St {
-                St { id: ctx.id.unwrap(), got: vec![], step: 0 }
+            fn init(&self, ctx: &NodeCtx) -> Result<St, RunError> {
+                Ok(St { id: ctx.require_id()?, got: vec![], step: 0 })
             }
             fn round(
                 &self,
@@ -326,12 +627,16 @@ mod tests {
         let g = gen::path(3); // 0-1-2
         let ports = PortNumbering::sorted(&g);
         let ids = vec![100, 200, 300];
-        let res = run_sync(&g, &ports, Some(&ids), None, &PortEcho, 10);
+        let res = run_sync(&g, &ports, Some(&ids), None, &PortEcho, 10).expect("well-formed run");
         // node 0 port 0 -> node 1; node 1 port 0 -> node 0; node 2 port 0 -> node 1
         // deliveries: node 1 gets 100 on its port to 0 (port 0) and 300 on
         // its port to 2 (port 1); node 0 gets 200 on port 0.
         assert_eq!(res.states[0].got, vec![(0, 200)]);
         assert_eq!(res.states[1].got, vec![(0, 100), (1, 300)]);
         assert!(res.states[2].got.is_empty());
+
+        // the same ID-model algorithm on an anonymous run: typed error
+        let res = run_sync(&g, &ports, None, None, &PortEcho, 10);
+        assert_eq!(res.unwrap_err(), RunError::MissingIds);
     }
 }

@@ -43,7 +43,7 @@ fn main() {
     ];
     for (name, g) in zoo {
         let ports = PortNumbering::sorted(&g);
-        let d = eds_double_cover(&g, &ports);
+        let d = eds_double_cover(&g, &ports).expect("well-formed instance");
         assert!(edge_dominating_set::feasible(&g, &d), "{name}");
         let opt = edge_dominating_set::opt_value(&g);
         let ratio = approx_ratio(d.len(), opt, Goal::Minimize).unwrap();

@@ -13,7 +13,7 @@ use locap_lifts::view_census;
 fn main() {
     println!("[ID]  Cole–Vishkin MIS (rounds grow like log* n):");
     for n in [16usize, 256, 4096] {
-        let out = cycle_mis_n(n, None);
+        let out = cycle_mis_n(n, None).expect("cycles are well-formed");
         println!(
             "  n = {n:5}: reduction rounds = {}, total = {}, |MIS| = {}",
             out.reduction_rounds,

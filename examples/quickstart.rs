@@ -30,7 +30,7 @@ fn main() {
     // ---- upper bound (double-cover algorithm, Suomela 2010) ------------
     let g = gen::cycle(9);
     let ports = PortNumbering::sorted(&g);
-    let d = eds_double_cover(&g, &ports);
+    let d = eds_double_cover(&g, &ports).expect("well-formed instance");
     assert!(edge_dominating_set::feasible(&g, &d));
     println!(
         "\ndouble-cover EDS algorithm on C9: |D| = {} vs OPT = {}",

@@ -17,7 +17,13 @@ step() {
 
 step "cargo fmt --check" cargo fmt --all -- --check
 step "cargo build --release" cargo build --release --workspace
-step "cargo test -q" cargo test -q --workspace
+# debug-profile test pass: keeps debug_assert! checks and overflow
+# checks in play, which the release pass below would skip
+step "cargo test -q (debug)" cargo test -q --workspace
+# the fault-injection harness re-runs in release: the panic-free
+# guarantees must not depend on debug-only checks
+step "failure injection (release)" \
+    cargo test -q --release -p locap-core --test failure_injection
 step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI gate passed."

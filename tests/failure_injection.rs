@@ -1,15 +1,435 @@
 //! Failure injection: every verifier in the stack must *reject* doctored
-//! inputs. A reproduction whose checks cannot fail checks nothing.
+//! inputs, and every engine and pipeline must turn malformed inputs and
+//! exhausted budgets into typed errors — never a panic, never a silently
+//! wrong answer. A reproduction whose checks cannot fail checks nothing.
+//!
+//! Layout:
+//! * `engine_faults` — each malformed-input class through each of the six
+//!   `run::*` entry points;
+//! * `simulator_faults` — the same classes through `run_sync`;
+//! * `budget_truncation` — round caps, manual-clock deadlines, and cache
+//!   caps across engines, simulator, and every pipeline;
+//! * `obs_visibility` — the `errors/run/*` and `budget/truncated/*`
+//!   counters these paths publish appear in OBS_JSON snapshots;
+//! * the original doctored-structure tests (verifiers must reject).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
 
 use locap_core::eds_lower::{eds_instance, lower_bound_report, EdsInstance};
 use locap_core::homogeneous::construct;
 use locap_core::CoreError;
+use locap_graph::budget::{ManualClock, RunBudget, TruncationReason};
+use locap_graph::canon::{IdNbhd, OrderedNbhd};
 use locap_graph::{gen, Edge, PoGraph};
-use locap_lifts::{trivial_lift, CoveringMap};
+use locap_lifts::{trivial_lift, CoveringMap, Letter, ViewTree};
 use locap_models::checkable::verifiers::*;
 use locap_models::checkable::{verify_edge, verify_vertex};
+use locap_models::{
+    run, IdEdgeAlgorithm, IdVertexAlgorithm, OiEdgeAlgorithm, OiVertexAlgorithm, PoEdgeAlgorithm,
+    PoVertexAlgorithm, RunError,
+};
+
+/// A budget whose manual clock is already past its deadline: every
+/// `check_deadline` trips immediately and deterministically.
+fn expired_deadline() -> RunBudget {
+    let clock = Arc::new(ManualClock::new());
+    clock.set(Duration::from_secs(60));
+    RunBudget::unlimited().with_deadline(Duration::from_millis(1), clock)
+}
+
+#[derive(Clone)]
+struct IdMax;
+impl IdVertexAlgorithm for IdMax {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, t: &IdNbhd) -> bool {
+        t.root as usize == t.ids.len() - 1
+    }
+}
+
+#[derive(Clone)]
+struct OiMin;
+impl OiVertexAlgorithm for OiMin {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, t: &OrderedNbhd) -> bool {
+        t.root == 0
+    }
+}
+
+#[derive(Clone)]
+struct PoParity;
+impl PoVertexAlgorithm for PoParity {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, v: &ViewTree) -> bool {
+        v.size() % 2 == 0
+    }
+}
+
+/// Returns one bit too many at every node: a wrong-output-length fault.
+#[derive(Clone)]
+struct IdEdgeTooWide;
+impl IdEdgeAlgorithm for IdEdgeTooWide {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, t: &IdNbhd) -> Vec<bool> {
+        vec![true; t.ids.len() + 7]
+    }
+}
+
+#[derive(Clone)]
+struct OiEdgeOneBit;
+impl OiEdgeAlgorithm for OiEdgeOneBit {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, _t: &OrderedNbhd) -> Vec<bool> {
+        vec![true]
+    }
+}
+
+/// Selects a letter no node of a one-letter digraph has.
+#[derive(Clone)]
+struct PoAbsentLetter;
+impl PoEdgeAlgorithm for PoAbsentLetter {
+    fn radius(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, _view: &ViewTree) -> Vec<(Letter, bool)> {
+        vec![(Letter::neg(7), true)]
+    }
+}
+
+mod engine_faults {
+    use super::*;
+
+    #[test]
+    fn short_ids_rejected_by_both_id_engines() {
+        let g = gen::cycle(8);
+        let ids: Vec<u64> = (0..5).collect();
+        for res in [run::id_vertex(&g, &ids, &IdMax), run::id_vertex_naive(&g, &ids, &IdMax)] {
+            assert!(matches!(
+                res,
+                Err(RunError::InputLengthMismatch { what: "ids", expected: 8, actual: 5 })
+            ));
+        }
+        assert!(matches!(
+            run::id_edge(&g, &ids, &IdEdgeTooWide),
+            Err(RunError::InputLengthMismatch { what: "ids", .. })
+        ));
+    }
+
+    #[test]
+    fn short_rank_rejected_by_both_oi_engines() {
+        let g = gen::cycle(8);
+        let rank: Vec<usize> = (0..3).collect();
+        for res in [run::oi_vertex(&g, &rank, &OiMin), run::oi_vertex_naive(&g, &rank, &OiMin)] {
+            assert!(matches!(
+                res,
+                Err(RunError::InputLengthMismatch { what: "rank", expected: 8, actual: 3 })
+            ));
+        }
+        assert!(matches!(
+            run::oi_edge(&g, &rank, &OiEdgeOneBit),
+            Err(RunError::InputLengthMismatch { what: "rank", .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_edge_output_length_is_typed() {
+        let g = gen::cycle(6);
+        let ids: Vec<u64> = (0..6).collect();
+        let rank: Vec<usize> = (0..6).collect();
+        assert!(matches!(
+            run::id_edge(&g, &ids, &IdEdgeTooWide),
+            Err(RunError::OutputLengthMismatch { expected: 2, .. })
+        ));
+        assert!(matches!(
+            run::oi_edge(&g, &rank, &OiEdgeOneBit),
+            Err(RunError::OutputLengthMismatch { expected: 2, actual: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn po_edge_absent_letter_is_typed() {
+        let d = gen::directed_cycle(6);
+        for res in [run::po_edge(&d, &PoAbsentLetter), run::po_edge_naive(&d, &PoAbsentLetter)] {
+            assert!(matches!(res, Err(RunError::AbsentLetter { .. })));
+        }
+    }
+
+    #[test]
+    fn healthy_runs_stay_ok() {
+        let g = gen::cycle(8);
+        let ids: Vec<u64> = (10..18).collect();
+        let rank: Vec<usize> = (0..8).collect();
+        let d = gen::directed_cycle(8);
+        assert_eq!(run::id_vertex(&g, &ids, &IdMax).unwrap().len(), 8);
+        assert_eq!(run::oi_vertex(&g, &rank, &OiMin).unwrap().len(), 8);
+        assert_eq!(run::po_vertex(&d, &PoParity).unwrap().len(), 8);
+    }
+}
+
+mod simulator_faults {
+    use super::*;
+    use locap_algos::cole_vishkin::{cycle_mis, cycle_orientation, ColorReduce};
+    use locap_graph::PortNumbering;
+    use locap_models::sim::{run_sync, run_sync_budgeted, GossipIds};
+
+    #[test]
+    fn anonymous_run_of_id_algorithm_is_missing_ids() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&g);
+        let res = run_sync(&g, &ports, None, None, &GossipIds { rounds: 1 }, 4);
+        assert!(matches!(res, Err(RunError::MissingIds)));
+    }
+
+    #[test]
+    fn short_ids_rejected_before_round_zero() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&g);
+        let ids: Vec<u64> = (0..4).collect();
+        let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: 1 }, 4);
+        assert!(matches!(res, Err(RunError::InputLengthMismatch { what: "ids", .. })));
+    }
+
+    #[test]
+    fn foreign_port_numbering_rejected() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&gen::cycle(9));
+        let ids: Vec<u64> = (0..6).collect();
+        let res = run_sync(&g, &ports, Some(&ids), None, &GossipIds { rounds: 1 }, 4);
+        assert!(matches!(res, Err(RunError::InputLengthMismatch { what: "ports", .. })));
+    }
+
+    #[test]
+    fn unoriented_run_of_po_style_algorithm_is_missing_orientation() {
+        let g = gen::cycle(6);
+        let ports = PortNumbering::sorted(&g);
+        let ids: Vec<u64> = (0..6).collect();
+        let res = run_sync(&g, &ports, Some(&ids), None, &ColorReduce { rounds: 1 }, 4);
+        assert!(matches!(res, Err(RunError::MissingOrientation)));
+    }
+
+    #[test]
+    fn degree_precondition_is_unsupported_not_panic() {
+        // cycle_mis on a path: endpoints have degree 1
+        let g = gen::path(5);
+        let ids: Vec<u64> = (0..5).collect();
+        assert!(matches!(cycle_mis(&g, &ids), Err(RunError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn round_cap_yields_partial_result_not_hang() {
+        let g = gen::cycle(8);
+        let ports = PortNumbering::sorted(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let orient = cycle_orientation(&g);
+        let budget = RunBudget::unlimited().with_max_rounds(1);
+        // needs `rounds` + propagation, so 1 round cannot finish
+        let res = run_sync_budgeted(
+            &g,
+            &ports,
+            Some(&ids),
+            Some(&orient),
+            None,
+            &ColorReduce { rounds: 6 },
+            &budget,
+        )
+        .unwrap();
+        assert!(!res.all_halted);
+        assert_eq!(res.rounds, 1);
+        assert!(matches!(res.truncation, Some(TruncationReason::RoundLimit { limit: 1 })));
+        assert_eq!(res.states.len(), 8, "partial states still cover every node");
+    }
+
+    #[test]
+    fn manual_deadline_trips_immediately() {
+        let g = gen::cycle(8);
+        let ports = PortNumbering::sorted(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let res = run_sync_budgeted(
+            &g,
+            &ports,
+            Some(&ids),
+            None,
+            None,
+            &GossipIds { rounds: 5 },
+            &expired_deadline(),
+        )
+        .unwrap();
+        assert!(matches!(res.truncation, Some(TruncationReason::DeadlineExceeded { .. })));
+        assert_eq!(res.rounds, 0, "no round completes past an expired deadline");
+    }
+}
+
+mod budget_truncation {
+    use super::*;
+    use locap_core::eds_lower;
+    use locap_core::hom_lift::homogeneous_lift_budgeted;
+    use locap_core::homogeneous::construct_budgeted;
+    use locap_core::ramsey::{monochromatic_subset_budgeted, ramsey_cycle_transfer_budgeted};
+    use locap_core::transfer::{transfer_edge_budgeted, transfer_vertex_budgeted};
+    use locap_problems::{edge_dominating_set, vertex_cover, Goal};
+
+    #[test]
+    fn engines_truncate_on_cache_cap() {
+        let g = gen::cycle(12);
+        let ids: Vec<u64> = (0..12).collect();
+        let rank: Vec<usize> = (0..12).collect();
+        let d = gen::directed_cycle(12);
+        let budget = RunBudget::unlimited().with_cache_cap(1);
+        let id = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget).unwrap();
+        assert!(matches!(id.truncation, Some(TruncationReason::CacheCapExceeded { cap: 1, .. })));
+        let oi = run::oi_vertex_budgeted(&g, &rank, &OiMin, &budget).unwrap();
+        assert!(!oi.is_complete());
+        let po = run::po_vertex_budgeted(&d, &PoParity, &budget).unwrap();
+        assert!(matches!(po.truncation, Some(TruncationReason::CacheCapExceeded { .. })));
+    }
+
+    #[test]
+    fn engines_truncate_on_deadline_with_empty_prefix() {
+        let g = gen::cycle(12);
+        let ids: Vec<u64> = (0..12).collect();
+        let rank: Vec<usize> = (0..12).collect();
+        let budget = expired_deadline();
+        let id = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget).unwrap();
+        assert!(matches!(id.truncation, Some(TruncationReason::DeadlineExceeded { .. })));
+        assert!(id.value.len() < 12, "expired deadline cannot complete all vertices");
+        let oi = run::oi_vertex_budgeted(&g, &rank, &OiMin, &budget).unwrap();
+        assert!(!oi.is_complete());
+    }
+
+    #[test]
+    fn truncated_prefix_agrees_with_full_run() {
+        let g = gen::cycle(12);
+        let ids: Vec<u64> = (0..12).collect();
+        let budget = RunBudget::unlimited().with_cache_cap(2);
+        let partial = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget).unwrap();
+        let full = run::id_vertex(&g, &ids, &IdMax).unwrap();
+        assert!(
+            partial.value.iter().zip(&full).all(|(a, b)| a == b),
+            "a truncated run must be a prefix of the full answer, never a wrong answer"
+        );
+    }
+
+    #[test]
+    fn transfer_pipelines_truncate_with_stage() {
+        let g = gen::directed_cycle(6);
+        let h = construct(1, 1, 6).unwrap();
+        let res = transfer_vertex_budgeted(
+            &g,
+            &h,
+            OiMin,
+            Goal::Minimize,
+            vertex_cover::feasible,
+            vertex_cover::opt_value,
+            &expired_deadline(),
+        );
+        assert!(matches!(res, Err(CoreError::Truncated { stage: "A on lift", .. })));
+
+        #[derive(Clone)]
+        struct AllEdges;
+        impl OiEdgeAlgorithm for AllEdges {
+            fn radius(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, t: &OrderedNbhd) -> Vec<bool> {
+                vec![true; t.edges.iter().filter(|&&(a, b)| a == t.root || b == t.root).count()]
+            }
+        }
+        let res = transfer_edge_budgeted(
+            &g,
+            &h,
+            AllEdges,
+            Goal::Minimize,
+            edge_dominating_set::feasible,
+            edge_dominating_set::opt_value,
+            &expired_deadline(),
+        );
+        assert!(matches!(res, Err(CoreError::Truncated { stage: "A on lift", .. })));
+    }
+
+    #[test]
+    fn eds_report_truncates_on_cache_cap_and_deadline() {
+        let inst = eds_instance(2, 9).unwrap();
+        let res = eds_lower::lower_bound_report_budgeted(
+            &inst,
+            &RunBudget::unlimited().with_cache_cap(1),
+        );
+        assert!(matches!(res, Err(CoreError::Truncated { stage: "view census", .. })));
+        let res = eds_lower::lower_bound_report_budgeted(&inst, &expired_deadline());
+        assert!(matches!(res, Err(CoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn homogeneous_construction_truncates_on_deadline() {
+        let res = construct_budgeted(1, 1, 6, &expired_deadline());
+        assert!(matches!(res, Err(CoreError::Truncated { stage: "generator search", .. })));
+    }
+
+    #[test]
+    fn homogeneous_lift_truncates_on_deadline() {
+        let g = gen::directed_cycle(3);
+        let h = construct(1, 1, 6).unwrap();
+        let res = homogeneous_lift_budgeted(&g, &h, &expired_deadline());
+        assert!(matches!(res, Err(CoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn ramsey_search_truncates_instead_of_reporting_absence() {
+        let universe: Vec<u64> = (1..=30).collect();
+        let mut color = |s: &[u64]| s.iter().sum::<u64>() % 2;
+        let res = monochromatic_subset_budgeted(&mut color, &universe, 2, 6, &expired_deadline());
+        assert!(matches!(res, Err(CoreError::Truncated { stage: "Ramsey search", .. })));
+        let res = ramsey_cycle_transfer_budgeted(IdMax, &universe, 1, 8, &expired_deadline());
+        assert!(matches!(res, Err(CoreError::Truncated { .. })));
+        // and with room to breathe, the same search succeeds
+        assert!(ramsey_cycle_transfer_budgeted(IdMax, &universe, 1, 8, &RunBudget::unlimited())
+            .unwrap()
+            .is_some());
+    }
+}
+
+mod obs_visibility {
+    use super::*;
+
+    /// Errors and truncations must be visible in OBS_JSON: drive one of
+    /// each class and check the counters moved and serialise.
+    #[test]
+    fn error_and_truncation_counters_reach_snapshots() {
+        let g = gen::cycle(8);
+        let short: Vec<u64> = (0..3).collect();
+        let before = locap_obs::counter("errors/run/input_length").get();
+        let _ = run::id_vertex(&g, &short, &IdMax);
+        let _ = run::id_vertex(&g, &short, &IdMax);
+        assert_eq!(
+            locap_obs::counter("errors/run/input_length").get(),
+            before + 2,
+            "every rejected run counts once"
+        );
+
+        let before = locap_obs::counter("budget/truncated/cache_cap").get();
+        let ids: Vec<u64> = (0..8).collect();
+        let budget = RunBudget::unlimited().with_cache_cap(1);
+        let _ = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget);
+        assert!(locap_obs::counter("budget/truncated/cache_cap").get() > before);
+
+        let snap = locap_obs::snapshot();
+        assert!(snap.counters.keys().any(|k| k.starts_with("errors/run/")));
+        assert!(snap.counters.keys().any(|k| k.starts_with("budget/truncated/")));
+        let json = snap.to_json("failure_injection");
+        assert!(json.contains("errors/run/input_length"));
+        assert!(json.contains("budget/truncated/cache_cap"));
+    }
+}
 
 #[test]
 fn corrupted_covering_maps_rejected() {

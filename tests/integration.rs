@@ -29,8 +29,8 @@ fn po_outputs_invariant_under_lifts() {
     let base = PoGraph::canonical(&gen::petersen()).digraph().clone();
     for l in [2usize, 3] {
         let (lift, phi) = random_lift(&base, l, &mut rng);
-        let base_out = run::po_vertex(&base, &ViewParity);
-        let lift_out = run::po_vertex(&lift, &ViewParity);
+        let base_out = run::po_vertex(&base, &ViewParity).unwrap();
+        let lift_out = run::po_vertex(&lift, &ViewParity).unwrap();
         for v in 0..lift.node_count() {
             assert_eq!(lift_out[v], base_out[phi.image(v)], "fibre-invariance at {v}");
         }
@@ -49,8 +49,8 @@ fn eds_algorithm_consistent_on_connected_lifts() {
 
     let base_und = g0.underlying().unwrap();
     let lift_und = lift.underlying().unwrap();
-    let d_base = eds_double_cover(&base_und, &PortNumbering::sorted(&base_und));
-    let d_lift = eds_double_cover(&lift_und, &PortNumbering::sorted(&lift_und));
+    let d_base = eds_double_cover(&base_und, &PortNumbering::sorted(&base_und)).unwrap();
+    let d_lift = eds_double_cover(&lift_und, &PortNumbering::sorted(&lift_und)).unwrap();
     assert!(edge_dominating_set::feasible(&base_und, &d_base));
     assert!(edge_dominating_set::feasible(&lift_und, &d_lift));
 }
@@ -65,7 +65,7 @@ fn eds_bounds_meet_on_g0() {
     assert_eq!(report.ratio, eds_bound(2));
 
     let und = inst.digraph.underlying().unwrap();
-    let d = eds_double_cover(&und, &PortNumbering::sorted(&und));
+    let d = eds_double_cover(&und, &PortNumbering::sorted(&und)).unwrap();
     let ratio = approx_ratio(d.len(), report.opt, Goal::Minimize).unwrap();
     assert!(ratio <= eds_bound(2), "upper bound respects the tight factor");
 }
@@ -78,7 +78,7 @@ fn algorithms_run_on_homogeneous_graphs() {
     let und = h.digraph.underlying().unwrap();
     let vc = vc_edge_packing(&und).unwrap();
     assert!(vertex_cover::feasible(&und, &vc));
-    let run = double_cover_matching(&und, &PortNumbering::sorted(&und));
+    let run = double_cover_matching(&und, &PortNumbering::sorted(&und)).unwrap();
     assert!(edge_dominating_set::feasible(&und, &run.projected));
 }
 
@@ -97,7 +97,7 @@ fn full_stack_on_random_regular_graphs() {
         }
         // algorithms feasible and within factors
         let ports = PortNumbering::sorted(&g);
-        let eds = eds_double_cover(&g, &ports);
+        let eds = eds_double_cover(&g, &ports).unwrap();
         assert!(edge_dominating_set::feasible(&g, &eds));
         let opt = edge_dominating_set::opt_value(&g);
         let dp = 2 * (d / 2);

@@ -64,10 +64,10 @@ fn fact_4_2_agreement_bounds() {
 #[test]
 fn is_simulation_forced_empty_on_cycles() {
     let h = construct(1, 1, 8).unwrap();
-    let b = PoFromOi::from_homogeneous(LocalMinIs, &h);
+    let b = PoFromOi::from_homogeneous(LocalMinIs, &h).unwrap();
     for n in [5usize, 9, 14] {
         let g = gen::directed_cycle(n);
-        let out = run::po_vertex(&g, &b);
+        let out = run::po_vertex(&g, &b).unwrap();
         assert!(out.iter().all(|&x| !x), "n={n}: B must be constant-empty");
     }
 }
@@ -95,9 +95,9 @@ fn id_to_oi_to_po_composition() {
 
     // compose with OI→PO
     let h = construct(1, 1, 6).unwrap();
-    let b = PoFromOi::from_homogeneous(oi, &h);
+    let b = PoFromOi::from_homogeneous(oi, &h).unwrap();
     let g = gen::directed_cycle(10);
-    let out = run::po_vertex(&g, &b);
+    let out = run::po_vertex(&g, &b).unwrap();
     // constant on the symmetric cycle, and equal to the forced bit
     assert!(out.iter().all(|&x| x == out[0]));
     assert_eq!(out[0], bit, "B's constant equals the Ramsey-forced colour");
@@ -144,7 +144,7 @@ fn approximation_preserved_through_simulation() {
     .unwrap();
     // A's cover on the lift
     let lift_und = lift.lift.underlying_simple();
-    let a_out = run::oi_vertex(&lift_und, &lift.rank, &NonMinCover);
+    let a_out = run::oi_vertex(&lift_und, &lift.rank, &NonMinCover).unwrap();
     let a_size = a_out.iter().filter(|&&x| x).count();
     let a_feasible = vertex_cover::feasible(&lift_und, &run::to_vertex_set(&a_out));
     assert!(a_feasible, "A is a vertex cover on the lift");

@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn prop_eds_double_cover_feasible(g in arb_graph()) {
         let ports = PortNumbering::sorted(&g);
-        let d = eds_double_cover(&g, &ports);
+        let d = eds_double_cover(&g, &ports).unwrap();
         prop_assert!(edge_dominating_set::feasible(&g, &d));
     }
 
@@ -128,7 +128,7 @@ fn degenerate_instances() {
 
     let star = gen::star(5);
     let ports = PortNumbering::sorted(&star);
-    let d = eds_double_cover(&star, &ports);
+    let d = eds_double_cover(&star, &ports).unwrap();
     assert!(edge_dominating_set::feasible(&star, &d));
     assert_eq!(edge_dominating_set::opt_value(&star), 1);
 
@@ -139,4 +139,112 @@ fn degenerate_instances() {
     assert_eq!(edge_dominating_set::opt_value(&disjoint), 3);
     assert_eq!(vertex_cover::opt_value(&disjoint), 3);
     assert_eq!(matching::opt_value(&disjoint), 3);
+}
+
+/// A faulty-input model for the fallible execution core: whatever
+/// combination of missing/truncated ids, inputs, and orientation a
+/// caller supplies, `run_sync` must return `Ok` or a typed `RunError` —
+/// never panic — and the id/oi engines must do the same for short
+/// slices.
+#[derive(Debug, Clone)]
+struct FaultPlan {
+    /// 0 = full ids, 1 = no ids, 2 = truncated ids
+    ids: u8,
+    /// 0 = no orientation, 1 = random orientation
+    orientation: u8,
+    /// 0 = no inputs, 1 = full inputs, 2 = truncated inputs
+    inputs: u8,
+    seed: u64,
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (0u8..3, 0u8..2, 0u8..3, any::<u64>()).prop_map(|(ids, orientation, inputs, seed)| FaultPlan {
+        ids,
+        orientation,
+        inputs,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `run_sync` on random bounded-degree graphs under every fault plan:
+    /// no panic, and short slices always surface as typed errors.
+    #[test]
+    fn prop_run_sync_never_panics(g in arb_graph(), plan in arb_fault_plan()) {
+        use locap_models::sim::{run_sync_with_inputs, GossipIds};
+        use locap_models::RunError;
+
+        let mut rng = StdRng::seed_from_u64(plan.seed);
+        let n = g.node_count();
+        let ports = random::random_ports(&g, &mut rng);
+        let full_ids = random::random_ids(n, 10_000, &mut rng);
+        let ids: Option<Vec<u64>> = match plan.ids {
+            0 => Some(full_ids.clone()),
+            1 => None,
+            _ => Some(full_ids[..n / 2].to_vec()),
+        };
+        let orientation = match plan.orientation {
+            0 => None,
+            _ => Some(random::random_orientation(&g, &mut rng)),
+        };
+        let inputs: Option<Vec<u64>> = match plan.inputs {
+            0 => None,
+            1 => Some(vec![1; n]),
+            _ => Some(vec![1; n.saturating_sub(1)]),
+        };
+        let res = run_sync_with_inputs(
+            &g,
+            &ports,
+            ids.as_deref(),
+            orientation.as_ref(),
+            inputs.as_deref(),
+            &GossipIds { rounds: 2 },
+            4,
+        );
+        match (&res, plan.ids) {
+            (Err(RunError::MissingIds), 1) => {}
+            (Err(RunError::InputLengthMismatch { .. }), _) => {
+                prop_assert!(plan.ids == 2 || plan.inputs == 2);
+            }
+            (Ok(out), 0) => prop_assert_eq!(out.states.len(), n),
+            (r, p) => prop_assert!(false, "unexpected outcome {:?} for ids plan {}", r.is_ok(), p),
+        }
+    }
+
+    /// The id/oi engines on random graphs with randomly truncated
+    /// slices: `Ok` on full-length slices, typed error otherwise.
+    #[test]
+    fn prop_engines_total_on_short_slices(g in arb_graph(), cut in 0usize..4, seed in any::<u64>()) {
+        use locap_graph::canon::{IdNbhd, OrderedNbhd};
+        use locap_models::{run, IdVertexAlgorithm, OiVertexAlgorithm, RunError};
+
+        struct Max;
+        impl IdVertexAlgorithm for Max {
+            fn radius(&self) -> usize { 1 }
+            fn evaluate(&self, t: &IdNbhd) -> bool { t.root as usize == t.ids.len() - 1 }
+        }
+        struct Min;
+        impl OiVertexAlgorithm for Min {
+            fn radius(&self) -> usize { 1 }
+            fn evaluate(&self, t: &OrderedNbhd) -> bool { t.root == 0 }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count();
+        let ids = random::random_ids(n, 10_000, &mut rng);
+        let rank = random::random_rank(n, &mut rng);
+        let keep = n.saturating_sub(cut);
+
+        let id_res = run::id_vertex(&g, &ids[..keep], &Max);
+        let oi_res = run::oi_vertex(&g, &rank[..keep], &Min);
+        if cut == 0 {
+            prop_assert_eq!(id_res.unwrap().len(), n);
+            prop_assert_eq!(oi_res.unwrap().len(), n);
+        } else {
+            prop_assert!(matches!(id_res, Err(RunError::InputLengthMismatch { .. })));
+            prop_assert!(matches!(oi_res, Err(RunError::InputLengthMismatch { .. })));
+        }
+    }
 }
