@@ -5,9 +5,9 @@
 //! structure (root degree 2|L|, inner degree 2|L|−1 children), and shows
 //! Fig. 5's instance |L| = 2, r = 2 explicitly.
 
-use std::time::Instant;
+#![forbid(unsafe_code)]
 
-use locap_bench::{cells, hprint, hprintln, Table};
+use locap_bench::{cells, hprint, hprintln, timed, Table};
 use locap_core::eds_lower::eds_instance;
 use locap_lifts::{
     complete_tree, reduced_words, t_star_size, view_census, view_census_naive, ViewCache,
@@ -55,12 +55,8 @@ fn body() {
     let inst = eds_instance(4, 7 * 512).expect("4-regular lift instance");
     let d = &inst.digraph;
     let r = 3;
-    let t0 = Instant::now();
-    let naive = view_census_naive(d, r);
-    let t_naive = t0.elapsed();
-    let t0 = Instant::now();
-    let census = view_census(d, r);
-    let t_engine = t0.elapsed();
+    let (naive, t_naive) = timed(|| view_census_naive(d, r));
+    let (census, t_engine) = timed(|| view_census(d, r));
     assert_eq!(naive, census, "engine census must be bit-identical");
     let mut cache = ViewCache::new(d);
     let _ = cache.census(r);

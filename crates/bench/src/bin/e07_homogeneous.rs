@@ -6,9 +6,9 @@
 //! ((m−2r)/m)^d, and that τ* is independent of m (the "independent of ε"
 //! clause of the theorem).
 
-use std::time::Instant;
+#![forbid(unsafe_code)]
 
-use locap_bench::{cells, hprintln, Table};
+use locap_bench::{cells, hprintln, timed, Table};
 use locap_core::homogeneous::{construct, construct_for_epsilon};
 use locap_num::Ratio;
 
@@ -36,55 +36,54 @@ fn body() {
         "time",
     ]);
     let mut tau_consistency = Vec::new();
-    let total = Instant::now();
-    for (k, r, ms) in [
-        (1usize, 1usize, vec![6u64, 10, 16, 24]),
-        (2, 1, vec![6, 10, 16]),
-        (1, 2, vec![8, 12, 20]),
-        (2, 2, vec![12, 16]),
-    ] {
-        let mut taus = Vec::new();
-        for &m in &ms {
-            let t0 = Instant::now();
-            let result = construct(k, r, m);
-            let dt = t0.elapsed();
-            match result {
-                Ok(h) => {
-                    t.row(&cells([
-                        &k,
-                        &r,
-                        &m,
-                        &h.level,
-                        &h.node_count(),
-                        &(2 * r + 1),
-                        &format!("{:?}", h.gens),
-                        &format!("{} ≈ {:.4}", h.fraction(), h.fraction().to_f64()),
-                        &format!("{} ≈ {:.4}", h.inner_bound(), h.inner_bound().to_f64()),
-                        &format!("{dt:.2?}"),
-                    ]));
-                    taus.push(h.tau_star.clone());
-                }
-                Err(e) => {
-                    t.row(&cells([
-                        &k,
-                        &r,
-                        &m,
-                        &"-",
-                        &"-",
-                        &(2 * r + 1),
-                        &format!("FAILED: {e}"),
-                        &"-",
-                        &"-",
-                        &format!("{dt:.2?}"),
-                    ]));
+    let ((), total) = timed(|| {
+        for (k, r, ms) in [
+            (1usize, 1usize, vec![6u64, 10, 16, 24]),
+            (2, 1, vec![6, 10, 16]),
+            (1, 2, vec![8, 12, 20]),
+            (2, 2, vec![12, 16]),
+        ] {
+            let mut taus = Vec::new();
+            for &m in &ms {
+                let (result, dt) = timed(|| construct(k, r, m));
+                match result {
+                    Ok(h) => {
+                        t.row(&cells([
+                            &k,
+                            &r,
+                            &m,
+                            &h.level,
+                            &h.node_count(),
+                            &(2 * r + 1),
+                            &format!("{:?}", h.gens),
+                            &format!("{} ≈ {:.4}", h.fraction(), h.fraction().to_f64()),
+                            &format!("{} ≈ {:.4}", h.inner_bound(), h.inner_bound().to_f64()),
+                            &format!("{dt:.2?}"),
+                        ]));
+                        taus.push(h.tau_star.clone());
+                    }
+                    Err(e) => {
+                        t.row(&cells([
+                            &k,
+                            &r,
+                            &m,
+                            &"-",
+                            &"-",
+                            &(2 * r + 1),
+                            &format!("FAILED: {e}"),
+                            &"-",
+                            &"-",
+                            &format!("{dt:.2?}"),
+                        ]));
+                    }
                 }
             }
+            let consistent = taus.windows(2).all(|w| w[0] == w[1]);
+            tau_consistency.push((k, r, consistent));
         }
-        let consistent = taus.windows(2).all(|w| w[0] == w[1]);
-        tau_consistency.push((k, r, consistent));
-    }
+    });
     t.print();
-    hprintln!("\ntotal construction+census wall time: {:.2?}", total.elapsed());
+    hprintln!("\ntotal construction+census wall time: {total:.2?}");
 
     hprintln!("\nτ* independence of ε (same type for every m):");
     for (k, r, ok) in tau_consistency {

@@ -31,6 +31,19 @@ pub fn human_output() -> bool {
     }
 }
 
+/// Runs `f` and reports how long it took.
+///
+/// This is the one sanctioned wall-clock read for ad-hoc timing in the
+/// experiment binaries (the L2 clock-discipline lint allowlists exactly
+/// this site): code under measurement never touches `Instant` itself,
+/// so the execution core stays deterministic and clock reads stay
+/// auditable.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
 /// `println!` gated on [`human_output`]: silent under `OBS_JSON=1` so the
 /// JSON line stays the only stdout output.
 #[macro_export]

@@ -40,6 +40,9 @@ use crate::CoreError;
 /// Hard cap on materialised group order.
 const MAX_NODES: u128 = 3_000_000;
 
+/// Counter of generator subsets tried across all constructions.
+const GENERATOR_ATTEMPTS: &str = "homogeneous/generator_attempts";
+
 /// A verified instance of Theorem 3.2.
 #[derive(Debug, Clone)]
 pub struct HomogeneousGraph {
@@ -285,7 +288,7 @@ pub fn find_generators_budgeted(
                 detail: format!("level {level}, m {m}: budget of {MAX_ATTEMPTS} subsets exhausted"),
             });
         }
-        obs::counter("homogeneous/generator_attempts").inc();
+        obs::counter(GENERATOR_ATTEMPTS).inc();
         let gens: Vec<Vec<i64>> = idx.iter().map(|&i| candidates[i].clone()).collect();
         match cayley(&h, &gens) {
             Ok(d) => {

@@ -30,6 +30,9 @@ use crate::hom_lift::eval_word;
 use crate::homogeneous::HomogeneousGraph;
 use crate::CoreError;
 
+/// Counter of ordered restrictions computed by the OI→PO simulation.
+const RESTRICTIONS: &str = "oi_to_po/restrictions";
+
 /// The simulation `B` of an OI vertex algorithm as a PO algorithm.
 #[derive(Debug, Clone)]
 pub struct PoFromOi<A> {
@@ -71,7 +74,7 @@ impl<A> PoFromOi<A> {
     /// `(sorted words, the ordered neighbourhood (T*, <*, λ) ↾ W)`.
     pub fn ordered_restriction(&self, view: &ViewTree) -> (Vec<Word>, OrderedNbhd) {
         let mut span = obs::span("oi_to_po/simulate");
-        obs::counter("oi_to_po/restrictions").inc();
+        obs::counter(RESTRICTIONS).inc();
         let mut words = view.words();
         span.arg("words", words.len() as i64);
         // order by (U element under the cone order, then the word itself)

@@ -362,15 +362,20 @@ where
     F: Fn(&mut NbhdScratch, NodeId) -> T + Sync,
 {
     const PARALLEL_MIN_NODES: usize = 1 << 10;
+    /// Counter of vertices canonicalised across all census runs.
+    const CENSUS_VERTICES: &str = "census/vertices";
+    /// Gauge of worker threads used by the latest census fan-out.
+    const CENSUS_WORKERS: &str = "census/workers";
     let _span = obs::span_with(&format!("census/{name}"), &[("nodes", n as i64)]);
-    obs::counter("census/vertices").add(n as u64);
+    obs::counter(CENSUS_VERTICES).add(n as u64);
+    let worker_gauge = obs::gauge(CENSUS_WORKERS);
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     if workers <= 1 || n < PARALLEL_MIN_NODES {
-        obs::gauge("census/workers").set(1);
+        worker_gauge.set(1);
         let mut scratch = NbhdScratch::new();
         return (0..n).map(|v| f(&mut scratch, v)).collect();
     }
-    obs::gauge("census/workers").set(workers as i64);
+    worker_gauge.set(workers as i64);
     let chunk = n.div_ceil(workers);
     let parent_path = obs::current_span_path();
     std::thread::scope(|scope| {

@@ -250,6 +250,17 @@ pub struct ViewCache<'g> {
 /// -state work is tens of nanoseconds, so small graphs lose to spawn cost.
 const PARALLEL_MIN_STATES: usize = 1 << 13;
 
+/// Counter of tree-materialisation memo hits.
+const VIEW_CACHE_TREE_HITS: &str = "view_cache/tree_hits";
+/// Counter of tree-materialisation memo misses.
+const VIEW_CACHE_TREE_MISSES: &str = "view_cache/tree_misses";
+/// Counter of refinement states allocated.
+const VIEW_CACHE_STATES: &str = "view_cache/states";
+/// Gauge of distinct view classes at the deepest refined level.
+const VIEW_CACHE_CLASSES: &str = "view_cache/classes";
+/// Gauge of worker threads used by the latest refinement sweep.
+const VIEW_CACHE_WORKERS: &str = "view_cache/workers";
+
 impl<'g> ViewCache<'g> {
     /// Creates an empty cache for `d`; levels are built on demand.
     pub fn new(d: &'g LDigraph) -> ViewCache<'g> {
@@ -262,11 +273,11 @@ impl<'g> ViewCache<'g> {
             reps: Vec::new(),
             trees: Vec::new(),
             stats: ViewCacheStats { states, workers: 1, ..ViewCacheStats::default() },
-            obs_tree_hits: obs::counter("view_cache/tree_hits"),
-            obs_tree_misses: obs::counter("view_cache/tree_misses"),
-            obs_states: obs::counter("view_cache/states"),
-            obs_classes: obs::gauge("view_cache/classes"),
-            obs_workers: obs::gauge("view_cache/workers"),
+            obs_tree_hits: obs::counter(VIEW_CACHE_TREE_HITS),
+            obs_tree_misses: obs::counter(VIEW_CACHE_TREE_MISSES),
+            obs_states: obs::counter(VIEW_CACHE_STATES),
+            obs_classes: obs::gauge(VIEW_CACHE_CLASSES),
+            obs_workers: obs::gauge(VIEW_CACHE_WORKERS),
         }
     }
 

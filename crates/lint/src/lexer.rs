@@ -1,0 +1,479 @@
+//! A hand-rolled, loss-free Rust lexer.
+//!
+//! The workspace has no registry access, so the analyzer cannot use
+//! `syn` or `proc-macro2`; this lexer covers exactly what the rule
+//! engine needs: a flat token stream with byte spans that distinguishes
+//! identifiers, punctuation, all literal forms (plain/raw/byte strings,
+//! chars vs lifetimes, numbers) and comments (line/doc/nested block).
+//! Trivia (whitespace, comments) is kept as tokens, so the spans of the
+//! output exactly tile the input — `lexer_props.rs` proptests both that
+//! property and panic-freedom on arbitrary byte soup.
+//!
+//! The lexer is deliberately forgiving: malformed input (unterminated
+//! literals, stray bytes) produces tokens, never errors, because the
+//! rule engine must degrade gracefully on code that `rustc` itself would
+//! reject (fixtures, mid-edit files).
+
+/// Doc-comment flavour of a comment token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Doc {
+    /// A plain comment (`//`, `/* */`).
+    None,
+    /// An outer doc comment (`///`, `/** */`).
+    Outer,
+    /// An inner doc comment (`//!`, `/*! */`).
+    Inner,
+}
+
+/// What a token is. String-ish literals collapse into [`TokenKind::Str`]
+/// (the rules only care about "is a literal" plus its value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of ASCII whitespace.
+    Whitespace,
+    /// A `//`-style comment, excluding the trailing newline.
+    LineComment(Doc),
+    /// A `/* */` comment (nesting-aware; may be unterminated at EOF).
+    BlockComment(Doc),
+    /// An identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'_`.
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A string literal: plain, raw, byte or C (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// The `::` path separator.
+    ColonColon,
+    /// The `..` range operator (`..=`/`...` lex as `..` plus the rest).
+    DotDot,
+    /// A single ASCII punctuation byte.
+    Punct(u8),
+    /// Any byte (or UTF-8 scalar) the grammar above does not cover.
+    Unknown,
+}
+
+/// One token: a kind plus the half-open byte span `[start, end)` into
+/// the source it was lexed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a token stream whose spans exactly tile the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.as_bytes(), pos: 0 }.run()
+}
+
+/// The value of a string-literal token: prefix letters, hashes and
+/// quotes stripped, common escapes decoded. Returns `None` for tokens
+/// that are not [`TokenKind::Str`] or are too malformed to strip.
+pub fn str_value(text: &str) -> Option<String> {
+    // strip prefix letters (b, r, c, br, cr) and raw-string hashes
+    let rest = text.trim_start_matches(|c: char| c.is_ascii_alphabetic());
+    let raw = text.len() > rest.len() && text[..text.len() - rest.len()].contains('r');
+    let rest = rest.trim_start_matches('#');
+    let hashes = "#".repeat(text.len() - text.trim_end_matches('#').len());
+    let body = rest.strip_prefix('"')?;
+    let body = body.strip_suffix(&format!("\"{hashes}")).unwrap_or(body);
+    if raw {
+        return Some(body.to_string());
+    }
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some(other) => out.push(other), // \\ \" \' and anything exotic
+            None => break,
+        }
+    }
+    Some(out)
+}
+
+const fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+const fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.b.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token { kind, start, end: self.pos });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.b[self.pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                    self.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' => match self.peek(1) {
+                Some(b'/') => self.line_comment(),
+                Some(b'*') => self.block_comment(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct(b'/')
+                }
+            },
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b':' => {
+                if self.peek(1) == Some(b':') {
+                    self.pos += 2;
+                    TokenKind::ColonColon
+                } else {
+                    self.pos += 1;
+                    TokenKind::Punct(b':')
+                }
+            }
+            b'.' => {
+                if self.peek(1) == Some(b'.') {
+                    self.pos += 2;
+                    TokenKind::DotDot
+                } else {
+                    self.pos += 1;
+                    TokenKind::Punct(b'.')
+                }
+            }
+            b if b.is_ascii_digit() => self.number(),
+            b if is_ident_start(b) => self.ident_or_prefixed_literal(),
+            b if b.is_ascii_punctuation() => {
+                self.pos += 1;
+                TokenKind::Punct(b)
+            }
+            _ => {
+                // stray control byte; ASCII, so single-byte advance is safe
+                self.pos += 1;
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///x` is outer doc, `////` is plain, `//!` is inner doc
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => Doc::None,
+            (Some(b'/'), _) => Doc::Outer,
+            (Some(b'!'), _) => Doc::Inner,
+            _ => Doc::None,
+        };
+        while !matches!(self.peek(0), None | Some(b'\n')) {
+            self.pos += 1;
+        }
+        TokenKind::LineComment(doc)
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**x` is outer doc unless it is `/**/`; `/*!` is inner doc
+        let doc = match self.peek(2) {
+            Some(b'*') if self.peek(3) != Some(b'/') && self.peek(3) != Some(b'*') => Doc::Outer,
+            Some(b'!') => Doc::Inner,
+            _ => Doc::None,
+        };
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        TokenKind::BlockComment(doc)
+    }
+
+    /// A plain (escaped) string body; `pos` sits on the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => self.pos += 2.min(self.b.len() - self.pos),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break, // unterminated
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string body with `hashes` closing hashes; `pos` sits on the
+    /// opening quote.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'"'
+                && self.b[self.pos..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+            {
+                self.pos += hashes;
+                return TokenKind::Str;
+            }
+        }
+        TokenKind::Str // unterminated
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'a` followed by a non-quote is a lifetime; `'a'` is a char
+        if let Some(n) = self.peek(1) {
+            if is_ident_start(n) && self.peek(2) != Some(b'\'') {
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => self.pos += 2.min(self.b.len() - self.pos),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\n') | None => break, // unterminated
+                Some(_) => self.pos += 1,
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // digits, base prefixes, suffixes: one alphanumeric/underscore
+        // run, with `e`/`E` exponent signs and a fraction dot (only when
+        // followed by a digit, so `1..n` and `x.0.max()` stay intact)
+        let mut prev = 0u8;
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || ((b == b'+' || b == b'-') && matches!(prev, b'e' | b'E'))
+                || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && prev != b'.');
+            if !continues {
+                break;
+            }
+            prev = b;
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let ident = &self.b[start..self.pos];
+        let raw_capable = matches!(ident, b"r" | b"br" | b"cr");
+        let quote_capable = matches!(ident, b"b" | b"c" | b"r" | b"br" | b"cr");
+        match self.peek(0) {
+            Some(b'"') if quote_capable => {
+                if raw_capable {
+                    self.raw_string(0)
+                } else {
+                    self.string()
+                }
+            }
+            Some(b'\'') if ident == b"b" => {
+                // byte literal b'x' (never a lifetime)
+                self.pos += 1;
+                loop {
+                    match self.peek(0) {
+                        Some(b'\\') => self.pos += 2.min(self.b.len() - self.pos),
+                        Some(b'\'') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\n') | None => break,
+                        Some(_) => self.pos += 1,
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b'#') if raw_capable || ident == b"r" => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.pos += hashes;
+                    self.raw_string(hashes)
+                } else if ident == b"r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // raw identifier r#loop
+                    self.pos += 1;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Ident
+                } else {
+                    TokenKind::Ident
+                }
+            }
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokenKind::Whitespace)
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_simple_source() {
+        let src = "fn main() { let x = v[0]; } // done";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn distinguishes_comments() {
+        assert_eq!(kinds("// x"), vec![TokenKind::LineComment(Doc::None)]);
+        assert_eq!(kinds("/// x"), vec![TokenKind::LineComment(Doc::Outer)]);
+        assert_eq!(kinds("//! x"), vec![TokenKind::LineComment(Doc::Inner)]);
+        assert_eq!(kinds("//// x"), vec![TokenKind::LineComment(Doc::None)]);
+        assert_eq!(kinds("/* a /* b */ c */"), vec![TokenKind::BlockComment(Doc::None)]);
+        assert_eq!(kinds("/**/"), vec![TokenKind::BlockComment(Doc::None)]);
+    }
+
+    #[test]
+    fn strings_absorb_code_like_content() {
+        // no Ident token may surface from inside literals
+        assert_eq!(
+            kinds(r#"let s = "v[0].unwrap()";"#)
+                .iter()
+                .filter(|k| **k == TokenKind::Str)
+                .count(),
+            1
+        );
+        assert_eq!(
+            kinds(r##"let s = r#"Instant::now()"#;"##)
+                .iter()
+                .filter(|k| **k == TokenKind::Str)
+                .count(),
+            1
+        );
+        assert_eq!(
+            kinds(r#"let b = b"panic!";"#).iter().filter(|k| **k == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokenKind::Char]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct(b'&'), TokenKind::Lifetime, TokenKind::Ident]
+        );
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Char]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(kinds("0..n"), vec![TokenKind::Number, TokenKind::DotDot, TokenKind::Ident]);
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Number]);
+        assert_eq!(kinds("0x1f_u64"), vec![TokenKind::Number]);
+        assert_eq!(
+            kinds("x.0.len()"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(b'.'),
+                TokenKind::Number,
+                TokenKind::Punct(b'.'),
+                TokenKind::Ident,
+                TokenKind::Punct(b'('),
+                TokenKind::Punct(b')')
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_lex_as_colon_colon() {
+        assert_eq!(
+            kinds("Instant::now"),
+            vec![TokenKind::Ident, TokenKind::ColonColon, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn str_values_decode() {
+        assert_eq!(str_value("\"a/b\"").as_deref(), Some("a/b"));
+        assert_eq!(str_value("r#\"x\"y\"#").as_deref(), Some("x\"y"));
+        assert_eq!(str_value("\"a\\nb\"").as_deref(), Some("a\nb"));
+    }
+
+    #[test]
+    fn survives_malformed_input() {
+        for src in ["\"unterminated", "/* open", "'x", "r###\"open", "\u{7f}\u{0}"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+}

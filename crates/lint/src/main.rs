@@ -1,0 +1,182 @@
+//! The `locap-lint` CLI.
+//!
+//! ```text
+//! locap-lint check [--root DIR] [--baseline FILE] [--json FILE|-] [--update-baseline]
+//! locap-lint validate FILE
+//! locap-lint rules
+//! ```
+//!
+//! `check` runs the workspace analyzer in ratchet mode: exit 0 when
+//! every violation is grandfathered by `lint_baseline.json`, exit 1 on
+//! any new violation or any unrecorded paydown. `--update-baseline`
+//! rewrites the baseline to the current debt (keeping reasons, flagging
+//! new entries with a TODO a human must replace). `validate` checks a
+//! diagnostics JSON document against the lint schema with the in-repo
+//! parser. `rules` prints the catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use locap_lint::{diag, Baseline, Config};
+use locap_obs as obs;
+use locap_obs::json::Json;
+
+/// Scanned-file count gauge name.
+const OBS_FILES: &str = "lint/files";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"check", rest)) => check(rest),
+        Some((&"validate", [path])) => validate(path),
+        Some((&"rules", [])) => {
+            for (id, name, desc) in diag::RULES {
+                println!("{id}  {name:<19} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: locap-lint check [--root DIR] [--baseline FILE] [--json FILE|-] \
+                 [--update-baseline]\n       locap-lint validate FILE\n       locap-lint rules"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn default_root() -> PathBuf {
+    // the crate lives at <root>/crates/lint, so the workspace root is
+    // fixed at compile time — `cargo run -p locap-lint` works from any cwd
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn check(rest: &[&str]) -> ExitCode {
+    let mut root = default_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_out: Option<String> = None;
+    let mut update = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a file"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_out = Some((*v).to_string()),
+                None => return usage_error("--json needs a file (or -)"),
+            },
+            "--update-baseline" => update = true,
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint_baseline.json"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("locap-lint: failed to load baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match locap_lint::run_check(&root, &Config::locap(), &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("locap-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    obs::gauge(OBS_FILES).set(run.summary.files as i64);
+    for (id, _, _) in diag::RULES {
+        let count = run.diagnostics.iter().filter(|d| d.rule == *id).count() as u64;
+        obs::counter(&format!("lint/diagnostics/{id}")).add(count);
+    }
+
+    if update {
+        let updated = baseline.updated(&run.diagnostics);
+        let todo = updated.entries.iter().filter(|e| e.reason.starts_with("TODO")).count();
+        if let Err(e) = std::fs::write(&baseline_path, updated.render()) {
+            eprintln!("locap-lint: failed to write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "locap-lint: wrote {} entr(ies) to {}{}",
+            updated.entries.len(),
+            baseline_path.display(),
+            if todo > 0 {
+                format!(" — {todo} new entr(ies) need a reason before `check` passes")
+            } else {
+                String::new()
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &run.diagnostics {
+        println!("{}", d.render());
+    }
+    let s = &run.summary;
+    println!(
+        "locap-lint: {} file(s), {} diagnostic(s) ({} baselined, {} new, {} stale baseline \
+         entr(ies))",
+        s.files, s.diagnostics, s.baselined, s.new, s.stale
+    );
+    if let Some(path) = json_out {
+        let doc = diag::to_json(s, &run.diagnostics);
+        if path == "-" {
+            println!("{doc}");
+        } else if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("locap-lint: failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if run.passed() {
+        println!("locap-lint: ratchet gate passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &run.failures {
+            eprintln!("locap-lint: FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("locap-lint: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match Json::parse(text.trim()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("locap-lint: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match locap_lint::validate_lint_schema(&doc) {
+        Ok(()) => {
+            println!("locap-lint: {path}: schema-valid lint diagnostics document");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("locap-lint: {path}: schema violation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("locap-lint: {msg}");
+    ExitCode::from(2)
+}

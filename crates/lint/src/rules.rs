@@ -1,0 +1,468 @@
+//! The five contract rules, run over lexed token streams.
+//!
+//! Every rule is a linear scan over the significant tokens of a file
+//! (trivia stripped, literals opaque), with the test / `# Panics`
+//! regions from [`crate::source`] masking exempt code. L3 and the
+//! duplicate-registration half of the counter discipline need the whole
+//! workspace, so [`analyze_files`] runs per-file rules first and then a
+//! cross-file pass over the collected metric-construction sites.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{str_value, TokenKind};
+use crate::source::FileInfo;
+
+/// Keywords that may legally precede `[` without forming an indexing
+/// expression (`return [..]`, `match x { .. }`, array types, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// Macro-call names L1 forbids in the execution core.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs every rule over `files` (`(repo-relative path, contents)`
+/// pairs) and returns the diagnostics sorted by `(file, line, col,
+/// rule)`. This is the pure core of the analyzer — the CLI wraps it
+/// with filesystem walking and baseline ratcheting.
+pub fn analyze_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut metric_sites: Vec<MetricSite> = Vec::new();
+    for (path, text) in files {
+        let info = FileInfo::new(path.clone(), text.clone());
+        check_panic_discipline(&info, cfg, &mut diags);
+        check_clock_discipline(&info, cfg, &mut diags);
+        collect_metric_sites(&info, cfg, &mut metric_sites, &mut diags);
+        check_forbid_unsafe(&info, &mut diags);
+        check_budget_pairing(&info, cfg, &mut diags);
+    }
+    check_duplicate_registration(&metric_sites, &mut diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    diags
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rule: &'static str, f: &FileInfo, off: usize, msg: String) {
+    let (line, col) = f.line_col(off);
+    diags.push(Diagnostic::new(rule, &f.path, line, col, msg));
+}
+
+/// L1: no panicking constructs in the execution core.
+fn check_panic_discipline(f: &FileInfo, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    if !cfg.in_panic_scope(&f.path) {
+        return;
+    }
+    let n = f.sig.len();
+    for i in 0..n {
+        let off = f.sig_start(i);
+        if f.in_test(off) || f.in_panics_fn(off) {
+            continue;
+        }
+        match f.sig_kind(i) {
+            TokenKind::Ident => {
+                let name = f.sig_text(i);
+                let prev_dot = i > 0 && f.sig_kind(i - 1) == TokenKind::Punct(b'.');
+                let next_paren = i + 1 < n && f.sig_kind(i + 1) == TokenKind::Punct(b'(');
+                let next_bang = i + 1 < n && f.sig_kind(i + 1) == TokenKind::Punct(b'!');
+                if prev_dot && next_paren && matches!(name, "unwrap" | "expect") {
+                    push(
+                        diags,
+                        "L1",
+                        f,
+                        off,
+                        format!(
+                            ".{name}() in the execution core — return a typed \
+                             RunError/CoreError (or document the contract under `# Panics`)"
+                        ),
+                    );
+                } else if next_bang && PANIC_MACROS.contains(&name) {
+                    push(
+                        diags,
+                        "L1",
+                        f,
+                        off,
+                        format!(
+                            "{name}! in the execution core — return a typed error (or \
+                             document the contract under `# Panics`)"
+                        ),
+                    );
+                }
+            }
+            TokenKind::Punct(b'[') if i > 0 => {
+                let indexee = match f.sig_kind(i - 1) {
+                    TokenKind::Ident if !NON_INDEX_KEYWORDS.contains(&f.sig_text(i - 1)) => {
+                        Some(f.sig_text(i - 1))
+                    }
+                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => Some(""),
+                    _ => None,
+                };
+                if let Some(base) = indexee {
+                    let what = if base.is_empty() {
+                        "direct slice indexing".to_string()
+                    } else {
+                        format!("direct slice indexing `{base}[…]`")
+                    };
+                    push(
+                        diags,
+                        "L1",
+                        f,
+                        off,
+                        format!("{what} in the execution core — prefer .get()/error paths"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L2: wall-clock reads only at allowlisted sites.
+fn check_clock_discipline(f: &FileInfo, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    let n = f.sig.len();
+    let mut seen: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for i in 0..n.saturating_sub(2) {
+        if f.sig_kind(i) != TokenKind::Ident
+            || f.sig_kind(i + 1) != TokenKind::ColonColon
+            || f.sig_kind(i + 2) != TokenKind::Ident
+            || f.sig_text(i + 2) != "now"
+        {
+            continue;
+        }
+        let symbol: &'static str = match f.sig_text(i) {
+            "Instant" => "Instant::now",
+            "SystemTime" => "SystemTime::now",
+            _ => continue,
+        };
+        let off = f.sig_start(i);
+        if f.in_test(off) {
+            continue;
+        }
+        let count = seen.entry(symbol).or_insert(0);
+        *count += 1;
+        match cfg.clock_allowance(&f.path, symbol) {
+            Some(allow) if *count <= allow.max => {}
+            Some(allow) => push(
+                diags,
+                "L2",
+                f,
+                off,
+                format!(
+                    "{symbol} beyond this file's allowance of {} (allowlisted because: {}) — \
+                     route timing through the budget clock or locap_bench::timed",
+                    allow.max, allow.reason
+                ),
+            ),
+            None => push(
+                diags,
+                "L2",
+                f,
+                off,
+                format!(
+                    "{symbol} outside the clock allowlist — take a MonotonicClock (budgets) or \
+                     use locap_bench::timed so runs stay deterministic"
+                ),
+            ),
+        }
+    }
+}
+
+/// One obs metric construction site, keyed for duplicate detection.
+#[derive(Debug)]
+struct MetricSite {
+    /// `name:<resolved>` for const names, `fmt:<template>` for
+    /// `format!` families.
+    key: String,
+    file: String,
+    line: usize,
+    col: usize,
+}
+
+/// L3 (per-file half): metric names must be consts or const-`format!`
+/// templates; collects construction sites for the cross-file pass.
+fn collect_metric_sites(
+    f: &FileInfo,
+    cfg: &Config,
+    sites: &mut Vec<MetricSite>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if cfg.counter_exempt(&f.path) {
+        return;
+    }
+    let consts = const_str_decls(f);
+    let n = f.sig.len();
+    for i in 0..n {
+        if f.sig_kind(i) != TokenKind::Ident
+            || !matches!(f.sig_text(i), "counter" | "gauge" | "span_histogram")
+        {
+            continue;
+        }
+        let qualified =
+            i > 0 && matches!(f.sig_kind(i - 1), TokenKind::ColonColon | TokenKind::Punct(b'.'));
+        let called = i + 1 < n && f.sig_kind(i + 1) == TokenKind::Punct(b'(');
+        if !qualified || !called {
+            continue;
+        }
+        let off = f.sig_start(i);
+        if f.in_test(off) {
+            continue;
+        }
+        // first argument, skipping leading `&`
+        let mut a = i + 2;
+        while a < n && f.sig_kind(a) == TokenKind::Punct(b'&') {
+            a += 1;
+        }
+        if a >= n {
+            continue;
+        }
+        let (line, col) = f.line_col(off);
+        let record = |sites: &mut Vec<MetricSite>, key: String| {
+            sites.push(MetricSite { key, file: f.path.clone(), line, col });
+        };
+        match f.sig_kind(a) {
+            TokenKind::Str => push(
+                diags,
+                "L3",
+                f,
+                off,
+                format!(
+                    "inline metric name {} — declare it as a `const` so the registry has one \
+                     authoritative spelling",
+                    f.sig_text(a)
+                ),
+            ),
+            TokenKind::Ident if f.sig_text(a) == "format" => {
+                // &format!("template", …): the template is the family name
+                let template = (a + 1..n.min(a + 4))
+                    .find(|&j| f.sig_kind(j) == TokenKind::Str)
+                    .and_then(|j| str_value(f.sig_text(j)));
+                match template {
+                    Some(t) => record(sites, format!("fmt:{t}")),
+                    None => push(
+                        diags,
+                        "L3",
+                        f,
+                        off,
+                        "format!-built metric name without a literal template — the name \
+                         family must be statically visible"
+                            .into(),
+                    ),
+                }
+            }
+            TokenKind::Ident => {
+                let name = f.sig_text(a);
+                match consts.get(name) {
+                    Some(value) => record(sites, format!("name:{value}")),
+                    None => push(
+                        diags,
+                        "L3",
+                        f,
+                        off,
+                        format!(
+                            "metric name `{name}` does not resolve to a `const &str` declared \
+                             in this file"
+                        ),
+                    ),
+                }
+            }
+            _ => push(
+                diags,
+                "L3",
+                f,
+                off,
+                "metric name must be a `const` identifier or a literal format! template".into(),
+            ),
+        }
+    }
+}
+
+/// `const NAME: … = "value";` declarations in a file.
+fn const_str_decls(f: &FileInfo) -> BTreeMap<&str, String> {
+    let mut out = BTreeMap::new();
+    let n = f.sig.len();
+    for i in 0..n.saturating_sub(3) {
+        if f.sig_kind(i) != TokenKind::Ident || f.sig_text(i) != "const" {
+            continue;
+        }
+        if f.sig_kind(i + 1) != TokenKind::Ident || f.sig_kind(i + 2) != TokenKind::Punct(b':') {
+            continue;
+        }
+        // scan a short window for `= "literal"`
+        for j in i + 3..n.min(i + 12) {
+            match f.sig_kind(j) {
+                TokenKind::Punct(b'=') => {
+                    if j + 1 < n && f.sig_kind(j + 1) == TokenKind::Str {
+                        if let Some(v) = str_value(f.sig_text(j + 1)) {
+                            out.insert(f.sig_text(i + 1), v);
+                        }
+                    }
+                    break;
+                }
+                TokenKind::Punct(b';') | TokenKind::Punct(b'{') => break,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// L3 (cross-file half): each metric name/family has exactly one
+/// construction site in the workspace.
+fn check_duplicate_registration(sites: &[MetricSite], diags: &mut Vec<Diagnostic>) {
+    let mut by_key: BTreeMap<&str, Vec<&MetricSite>> = BTreeMap::new();
+    for s in sites {
+        by_key.entry(&s.key).or_default().push(s);
+    }
+    for (key, group) in by_key {
+        if group.len() <= 1 {
+            continue;
+        }
+        let mut sorted: Vec<&&MetricSite> = group.iter().collect();
+        sorted.sort_by_key(|s| (&s.file, s.line, s.col));
+        let first = sorted[0];
+        let name = key.split_once(':').map_or(key, |(_, v)| v);
+        for dup in &sorted[1..] {
+            diags.push(Diagnostic::new(
+                "L3",
+                &dup.file,
+                dup.line,
+                dup.col,
+                format!(
+                    "metric name \"{name}\" is constructed at {} site(s); hoist the handle — \
+                     first construction at {}:{} (the publish-twice bug class)",
+                    sorted.len(),
+                    first.file,
+                    first.line
+                ),
+            ));
+        }
+    }
+}
+
+/// L4: crate roots carry `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(f: &FileInfo, diags: &mut Vec<Diagnostic>) {
+    if !is_crate_root(&f.path) {
+        return;
+    }
+    let n = f.sig.len();
+    let has_forbid = (0..n.saturating_sub(7)).any(|i| {
+        f.sig_kind(i) == TokenKind::Punct(b'#')
+            && f.sig_kind(i + 1) == TokenKind::Punct(b'!')
+            && f.sig_kind(i + 2) == TokenKind::Punct(b'[')
+            && f.sig_kind(i + 3) == TokenKind::Ident
+            && f.sig_text(i + 3) == "forbid"
+            && f.sig_kind(i + 4) == TokenKind::Punct(b'(')
+            && f.sig_text(i + 5) == "unsafe_code"
+            && f.sig_kind(i + 6) == TokenKind::Punct(b')')
+            && f.sig_kind(i + 7) == TokenKind::Punct(b']')
+    });
+    if !has_forbid {
+        diags.push(Diagnostic::new(
+            "L4",
+            &f.path,
+            1,
+            1,
+            "crate root lacks #![forbid(unsafe_code)] — every locap crate (including bin \
+             targets, which are their own crate roots) must forbid unsafe"
+                .into(),
+        ));
+    }
+}
+
+/// Whether `path` is a crate root the analyzer scans: `src/lib.rs`,
+/// `src/main.rs` or `src/bin/*.rs` of a workspace crate.
+fn is_crate_root(path: &str) -> bool {
+    if !path.starts_with("crates/") {
+        return false;
+    }
+    path.ends_with("/src/lib.rs")
+        || path.ends_with("/src/main.rs")
+        || (path.contains("/src/bin/") && path.ends_with(".rs"))
+}
+
+/// L5: budget pairing at file granularity.
+fn check_budget_pairing(f: &FileInfo, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    let fns = pub_fns(f);
+    let names: BTreeSet<&str> = fns.iter().map(|(name, _)| *name).collect();
+    for (name, off) in &fns {
+        if let Some(base) = name.strip_suffix("_budgeted") {
+            if !names.contains(base) {
+                push(
+                    diags,
+                    "L5",
+                    f,
+                    *off,
+                    format!(
+                        "pub fn {name} has no plain delegate `{base}` in this file — every \
+                         budgeted entry point needs an unlimited twin"
+                    ),
+                );
+            }
+        } else if cfg.is_entry_point_file(&f.path) {
+            if let Some(base) = name.strip_suffix("_naive") {
+                if names.contains(base) && !names.contains(format!("{base}_budgeted").as_str()) {
+                    push(
+                        diags,
+                        "L5",
+                        f,
+                        *off,
+                        format!(
+                            "entry point `{base}` (with naive variant `{name}`) has no \
+                             `{base}_budgeted` variant — production entry points must be \
+                             boundable"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `pub fn` names (with offsets), test regions excluded.
+fn pub_fns(f: &FileInfo) -> Vec<(&str, usize)> {
+    let mut out = Vec::new();
+    let n = f.sig.len();
+    for i in 0..n.saturating_sub(1) {
+        if f.sig_kind(i) != TokenKind::Ident || f.sig_text(i) != "pub" {
+            continue;
+        }
+        // skip a visibility qualifier: pub(crate), pub(in …), pub(super)
+        let mut j = i + 1;
+        if j < n && f.sig_kind(j) == TokenKind::Punct(b'(') {
+            let mut depth = 0usize;
+            while j < n {
+                match f.sig_kind(j) {
+                    TokenKind::Punct(b'(') => depth += 1,
+                    TokenKind::Punct(b')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // skip fn qualifiers
+        while j < n
+            && f.sig_kind(j) == TokenKind::Ident
+            && matches!(f.sig_text(j), "const" | "async" | "unsafe" | "extern")
+        {
+            j += 1;
+        }
+        if j + 1 < n
+            && f.sig_kind(j) == TokenKind::Ident
+            && f.sig_text(j) == "fn"
+            && f.sig_kind(j + 1) == TokenKind::Ident
+            && !f.in_test(f.sig_start(i))
+        {
+            out.push((f.sig_text(j + 1), f.sig_start(j + 1)));
+        }
+    }
+    out
+}

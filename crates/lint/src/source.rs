@@ -1,0 +1,307 @@
+//! Per-file analysis context: the token stream plus the derived regions
+//! the rules treat specially.
+//!
+//! Two region classes are computed once per file:
+//!
+//! * **test regions** — items annotated `#[cfg(test)]` / `#[test]` /
+//!   `#[should_panic]` (attribute through the end of the item's brace
+//!   block or `;`). All rules skip them: test code may panic, read
+//!   clocks and name metrics freely.
+//! * **`# Panics` regions** — bodies of functions whose outer doc
+//!   comment carries a `# Panics` section. The panic-discipline rule
+//!   (L1) skips them: a documented panic is a contract, not a bug
+//!   (PR 4 kept four such contracts deliberately).
+
+use crate::lexer::{self, Doc, Token, TokenKind};
+
+/// A source file prepared for rule checks.
+#[derive(Debug)]
+pub struct FileInfo {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// The file contents.
+    pub text: String,
+    /// The full token stream (trivia included; spans tile `text`).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges of test-only code, sorted and disjoint-ish.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte ranges of `# Panics`-documented function bodies.
+    pub panics_regions: Vec<(usize, usize)>,
+    line_starts: Vec<usize>,
+}
+
+impl FileInfo {
+    /// Lexes `text` and derives the exemption regions.
+    pub fn new(path: String, text: String) -> FileInfo {
+        let tokens = lexer::lex(&text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment(_) | TokenKind::BlockComment(_)
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0];
+        line_starts
+            .extend(text.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i + 1));
+        let mut info = FileInfo {
+            path,
+            text,
+            tokens,
+            sig,
+            test_regions: Vec::new(),
+            panics_regions: Vec::new(),
+            line_starts,
+        };
+        info.test_regions = info.find_test_regions();
+        info.panics_regions = info.find_panics_regions();
+        info
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let col = offset - self.line_starts[line - 1] + 1;
+        (line, col)
+    }
+
+    /// The source line containing `offset`, without its newline.
+    pub fn line_text(&self, offset: usize) -> &str {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.text.len(), |e| e - 1);
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// The text of the significant token at `sig[i]`.
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.tokens[self.sig[i]].text(&self.text)
+    }
+
+    /// The kind of the significant token at `sig[i]`.
+    pub fn sig_kind(&self, i: usize) -> TokenKind {
+        self.tokens[self.sig[i]].kind
+    }
+
+    /// Start offset of the significant token at `sig[i]`.
+    pub fn sig_start(&self, i: usize) -> usize {
+        self.tokens[self.sig[i]].start
+    }
+
+    /// Whether `offset` falls in test-only code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        in_regions(&self.test_regions, offset)
+    }
+
+    /// Whether `offset` falls in a `# Panics`-documented function body.
+    pub fn in_panics_fn(&self, offset: usize) -> bool {
+        in_regions(&self.panics_regions, offset)
+    }
+
+    /// Test-annotated item ranges: each `#[…test…]` attribute through
+    /// the end of the annotated item.
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let n = self.sig.len();
+        let mut i = 0;
+        while i < n {
+            if self.sig_kind(i) != TokenKind::Punct(b'#') {
+                i += 1;
+                continue;
+            }
+            let attr_start = self.sig_start(i);
+            let mut j = i + 1;
+            let inner = j < n && self.sig_kind(j) == TokenKind::Punct(b'!');
+            if inner {
+                j += 1;
+            }
+            if j >= n || self.sig_kind(j) != TokenKind::Punct(b'[') {
+                i += 1;
+                continue;
+            }
+            // scan the balanced attribute body, collecting identifiers
+            let mut depth = 0usize;
+            let mut has_test_ident = false;
+            let mut has_not = false;
+            while j < n {
+                match self.sig_kind(j) {
+                    TokenKind::Punct(b'[') => depth += 1,
+                    TokenKind::Punct(b']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident => match self.sig_text(j) {
+                        "test" | "should_panic" | "bench" => has_test_ident = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    },
+                    _ => {}
+                }
+                j += 1;
+            }
+            // conservative: `#[cfg(not(test))]` guards PRODUCTION code,
+            // so any `not` in the attribute vetoes the exemption
+            let is_test = has_test_ident && !has_not;
+            if !is_test {
+                i = j.max(i + 1);
+                continue;
+            }
+            if inner {
+                // #![cfg(test)]: the whole remaining file is test-only
+                regions.push((attr_start, self.text.len()));
+                return regions;
+            }
+            let end = self.item_end(j + 1);
+            regions.push((attr_start, end));
+            // resume after the item so nested attributes inside it are
+            // not re-processed (the region already covers them)
+            while i < n && self.sig_start(i) < end {
+                i += 1;
+            }
+        }
+        regions
+    }
+
+    /// Bodies of functions whose outer doc comment mentions `# Panics`.
+    fn find_panics_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        for (ti, tok) in self.tokens.iter().enumerate() {
+            let is_panics_doc = matches!(
+                tok.kind,
+                TokenKind::LineComment(Doc::Outer) | TokenKind::BlockComment(Doc::Outer)
+            ) && tok.text(&self.text).contains("# Panics");
+            if !is_panics_doc {
+                continue;
+            }
+            // find the next significant token and walk the item header
+            let si = self.sig.partition_point(|&s| s < ti);
+            if let Some(region) = self.fn_body_after(si) {
+                regions.push(region);
+            }
+        }
+        regions.sort_unstable();
+        regions.dedup();
+        regions
+    }
+
+    /// Scans the item header starting at significant index `si`; if it
+    /// is a `fn`, returns the byte range of its body block.
+    fn fn_body_after(&self, si: usize) -> Option<(usize, usize)> {
+        let n = self.sig.len();
+        let mut saw_fn = false;
+        let mut j = si;
+        while j < n {
+            match self.sig_kind(j) {
+                TokenKind::Punct(b'{') => {
+                    if !saw_fn {
+                        return None; // some other item (struct, impl, …)
+                    }
+                    let start = self.sig_start(j);
+                    let end = self.block_end(j);
+                    return Some((start, end));
+                }
+                TokenKind::Punct(b';') => return None, // trait method decl
+                TokenKind::Ident if self.sig_text(j) == "fn" => saw_fn = true,
+                TokenKind::Ident
+                    if matches!(
+                        self.sig_text(j),
+                        "struct" | "enum" | "impl" | "mod" | "trait" | "union" | "macro_rules"
+                    ) =>
+                {
+                    return None
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// End offset of the item whose header starts at significant index
+    /// `si`: the close of its first top-level brace block, or the first
+    /// top-level `;`, whichever comes first.
+    fn item_end(&self, si: usize) -> usize {
+        let n = self.sig.len();
+        let mut j = si;
+        while j < n {
+            match self.sig_kind(j) {
+                TokenKind::Punct(b'{') => return self.block_end(j),
+                TokenKind::Punct(b';') => return self.sig_start(j) + 1,
+                _ => j += 1,
+            }
+        }
+        self.text.len()
+    }
+
+    /// End offset of the brace block opening at significant index `open`.
+    fn block_end(&self, open: usize) -> usize {
+        let n = self.sig.len();
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < n {
+            match self.sig_kind(j) {
+                TokenKind::Punct(b'{') => depth += 1,
+                TokenKind::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.tokens[self.sig[j]].end;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.text.len()
+    }
+}
+
+fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = FileInfo::new("crates/x/src/a.rs".into(), src.into());
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(!f.in_test(src.find("live").expect("live")));
+        assert!(f.in_test(src.find("unwrap").expect("unwrap")));
+    }
+
+    #[test]
+    fn cfg_test_attribute_variants() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { }\n#[test]\nfn t() {}\n";
+        let f = FileInfo::new("a.rs".into(), src.into());
+        assert_eq!(f.test_regions.len(), 2);
+    }
+
+    #[test]
+    fn panics_doc_exempts_only_that_fn() {
+        let src = "/// Does things.\n///\n/// # Panics\n///\n/// Panics if k == 0.\npub fn gadget(k: usize) { assert!(k >= 1); }\npub fn other(v: &[u32]) -> u32 { v[0] }\n";
+        let f = FileInfo::new("a.rs".into(), src.into());
+        assert_eq!(f.panics_regions.len(), 1);
+        assert!(f.in_panics_fn(src.find("assert").expect("assert")));
+        assert!(!f.in_panics_fn(src.find("v[0]").expect("index")));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let f = FileInfo::new("a.rs".into(), "ab\ncd\n".into());
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+        assert_eq!(f.line_text(4), "cd");
+    }
+}

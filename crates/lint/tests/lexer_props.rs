@@ -1,0 +1,84 @@
+//! Property tests for the hand-rolled lexer: on *any* input — arbitrary
+//! bytes, pathological Rust-ish fragments, truncated literals — `lex`
+//! must not panic, and the token spans must tile the input exactly
+//! (contiguous, in order, first at 0, last at `len`), with every span
+//! boundary on a UTF-8 character boundary. These are the invariants the
+//! rule engine builds on: a mis-tiled stream silently shifts every
+//! line/column the analyzer reports.
+
+use locap_lint::lexer::{lex, Token};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress the lexer's tricky paths: raw strings,
+/// nested comments, lifetimes vs chars, numbers with `..`, multi-byte
+/// UTF-8, and *unterminated* literal prefixes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "r#\"raw \" string\"#",
+    "r\"plain raw\"",
+    "b\"bytes\\x00\"",
+    "'a'",
+    "'\\n'",
+    "'lifetime",
+    "&'static str",
+    "/* outer /* nested */ still comment */",
+    "// line\n",
+    "//! inner doc\n",
+    "/// outer doc `# Panics`\n",
+    "1..n",
+    "x.0.1",
+    "1_000e-9f64",
+    "0xfe_u8",
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "/* unterminated block",
+    "ident_with_∆_inside",
+    "é",
+    "🔥",
+    "#![forbid(unsafe_code)]",
+    "v[i]",
+    ".unwrap()",
+    "Instant::now()",
+    "::",
+    "\\",
+    "\u{0}",
+    " \t\r\n",
+];
+
+/// Asserts the core lexer invariants for `src`.
+fn assert_tiling(src: &str) -> Result<(), TestCaseError> {
+    let tokens: Vec<Token> = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        prop_assert_eq!(t.start, pos, "gap or overlap before token at {} in {:?}", t.start, src);
+        prop_assert!(t.start < t.end, "empty token span at {} in {:?}", t.start, src);
+        prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        pos = t.end;
+    }
+    prop_assert_eq!(pos, src.len(), "tokens do not cover the tail of {:?}", src);
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded): the lexer survives and tiles.
+    #[test]
+    fn survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0usize..300)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiling(&src)?;
+    }
+
+    /// Random concatenations of adversarial Rust fragments: the lexer
+    /// tiles exactly even when literals swallow later fragments.
+    #[test]
+    fn survives_rust_fragment_soup(ix in prop::collection::vec(0usize..FRAGMENTS.len(), 0usize..24)) {
+        let src: String = ix.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        assert_tiling(&src)?;
+    }
+
+    /// Lexing is a pure function of the input: two runs agree.
+    #[test]
+    fn is_deterministic(ix in prop::collection::vec(0usize..FRAGMENTS.len(), 0usize..16)) {
+        let src: String = ix.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().concat();
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

@@ -1,0 +1,216 @@
+//! Fixture tests for the rule engine: one known-bad snippet per rule
+//! (asserting it triggers exactly that rule), clean counterparts for the
+//! exemption machinery, and the lock-down assertions on the real
+//! workspace — the committed baseline must pass ratchet mode and must
+//! contain no L2/L4 entries (those contracts hold outright).
+
+use std::path::Path;
+
+use locap_lint::{analyze_files, validate_lint_schema, Baseline, Config, Summary};
+use locap_obs::json::Json;
+
+/// Runs the analyzer over one in-memory file under the locap config.
+fn lint_one(path: &str, src: &str) -> Vec<locap_lint::Diagnostic> {
+    analyze_files(&[(path.to_string(), src.to_string())], &Config::locap())
+}
+
+/// Asserts every diagnostic of `diags` is from `rule` and there is at
+/// least one — the fixture must trigger exactly the rule it targets.
+fn assert_only(rule: &str, diags: &[locap_lint::Diagnostic]) {
+    assert!(!diags.is_empty(), "fixture for {rule} triggered nothing");
+    for d in diags {
+        assert_eq!(d.rule, rule, "fixture for {rule} also triggered: {}", d.render());
+    }
+}
+
+#[test]
+fn l1_fires_on_unwrap_expect_macros_and_indexing() {
+    let bad = r#"
+pub fn f(v: &[u32], i: usize) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("nonempty");
+    if i > v.len() { panic!("oob"); }
+    *a + *b + v[i]
+}
+"#;
+    let diags = lint_one("crates/core/src/fixture.rs", bad);
+    assert_only("L1", &diags);
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+}
+
+#[test]
+fn l1_exempts_tests_and_documented_panics() {
+    let clean = r#"
+/// Doubles the head.
+///
+/// # Panics
+///
+/// Panics when `v` is empty — callers check first.
+pub fn head2(v: &[u32]) -> u32 {
+    2 * v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1u32];
+        assert_eq!(super::head2(&v), v.first().copied().unwrap() * 2);
+    }
+}
+"#;
+    assert!(lint_one("crates/core/src/fixture.rs", clean).is_empty());
+    // out of scope entirely: same bad code outside the execution core
+    let bad = "pub fn f(v: &[u32]) -> u32 { v[0] }\n";
+    assert!(lint_one("crates/algos/src/fixture.rs", bad).is_empty());
+}
+
+#[test]
+fn l2_fires_on_unallowlisted_clock_reads() {
+    let bad = r#"
+use std::time::Instant;
+pub fn how_long() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+"#;
+    let diags = lint_one("crates/algos/src/fixture.rs", bad);
+    assert_only("L2", &diags);
+    // ... and on exceeding a file's allowance (budget.rs allows one)
+    let two = "pub fn f() { let _ = Instant::now(); let _ = Instant::now(); }\n";
+    let diags = lint_one("crates/graph/src/budget.rs", two);
+    assert_only("L2", &diags);
+    assert_eq!(diags.len(), 1, "only the read beyond the allowance fires");
+}
+
+#[test]
+fn l2_exempts_tests_and_allowlisted_sites() {
+    let clean = r#"
+pub fn f() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+    }
+}
+"#;
+    assert!(lint_one("crates/algos/src/fixture.rs", clean).is_empty());
+    let allowed = "pub fn today() { let _ = SystemTime::now(); }\n";
+    assert!(lint_one("crates/bench/src/gate.rs", allowed).is_empty());
+}
+
+#[test]
+fn l3_fires_on_inline_and_unresolved_metric_names() {
+    let bad = r#"
+pub fn f() {
+    obs::counter("hot/loop").inc();
+    obs::gauge(IMPORTED_ELSEWHERE).set(1);
+}
+"#;
+    let diags = lint_one("crates/graph/src/fixture.rs", bad);
+    assert_only("L3", &diags);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+}
+
+#[test]
+fn l3_accepts_consts_and_catches_duplicate_construction() {
+    let clean = r#"
+const HOT_LOOP: &str = "hot/loop";
+pub fn f(i: u32) {
+    obs::counter(HOT_LOOP).inc();
+    obs::counter(&format!("hot/worker/{i}")).inc();
+}
+"#;
+    assert!(lint_one("crates/graph/src/fixture.rs", clean).is_empty());
+
+    // the publish-twice bug class: same name constructed in two files
+    let a = "const N: &str = \"dup/name\";\npub fn f() { obs::counter(N).inc(); }\n";
+    let b = "const M: &str = \"dup/name\";\npub fn g() { obs::counter(M).inc(); }\n";
+    let diags = analyze_files(
+        &[
+            ("crates/graph/src/a.rs".to_string(), a.to_string()),
+            ("crates/lifts/src/b.rs".to_string(), b.to_string()),
+        ],
+        &Config::locap(),
+    );
+    assert_only("L3", &diags);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("2 site(s)"), "{}", diags[0].message);
+    assert_eq!(diags[0].file, "crates/lifts/src/b.rs", "the second site is the violation");
+}
+
+#[test]
+fn l4_fires_on_crate_roots_without_forbid() {
+    let bad = "//! A crate.\n\npub fn f() {}\n";
+    assert_only("L4", &lint_one("crates/fixture/src/lib.rs", bad));
+    assert_only("L4", &lint_one("crates/fixture/src/bin/tool.rs", bad));
+    // non-root module files are not crate roots
+    assert!(lint_one("crates/fixture/src/inner.rs", bad).is_empty());
+    let clean = "//! A crate.\n\n#![forbid(unsafe_code)]\n\npub fn f() {}\n";
+    assert!(lint_one("crates/fixture/src/lib.rs", clean).is_empty());
+}
+
+#[test]
+fn l5_fires_on_unpaired_budgeted_fns() {
+    let bad = "pub fn census_budgeted(b: B) -> R { imp(Some(b)) }\n";
+    let diags = lint_one("crates/lifts/src/fixture.rs", bad);
+    assert_only("L5", &diags);
+
+    let clean = "pub fn census() -> R { imp(None) }\n\
+                 pub fn census_budgeted(b: B) -> R { imp(Some(b)) }\n";
+    assert!(lint_one("crates/lifts/src/fixture.rs", clean).is_empty());
+
+    // reverse direction, entry-point files only: a naive variant demands
+    // a budgeted one
+    let entry = "pub fn run() -> R { imp() }\npub fn run_naive() -> R { reference() }\n";
+    let diags = lint_one("crates/models/src/run.rs", entry);
+    assert_only("L5", &diags);
+    assert!(lint_one("crates/lifts/src/fixture.rs", entry).is_empty(), "not an entry-point file");
+}
+
+#[test]
+fn diagnostics_json_round_trips_through_the_obs_parser() {
+    let diags = lint_one("crates/core/src/fixture.rs", "pub fn f(v: &[u8]) -> u8 { v[0] }\n");
+    let summary = Summary {
+        files: 1,
+        diagnostics: diags.len() as u64,
+        baselined: 0,
+        new: diags.len() as u64,
+        stale: 0,
+    };
+    let text = locap_lint::diag::to_json(&summary, &diags);
+    let doc = Json::parse(&text).expect("document parses with the in-repo parser");
+    validate_lint_schema(&doc).expect("document is schema-valid");
+    let rows = doc.get("diagnostics").and_then(Json::as_array).expect("rows");
+    assert_eq!(rows.len(), diags.len());
+    assert_eq!(rows[0].get("rule").and_then(Json::as_str), Some("L1"));
+}
+
+/// The real workspace, under the committed baseline, passes ratchet mode
+/// — this is the same gate CI runs, locked down as a plain test.
+#[test]
+fn workspace_is_clean_under_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = Baseline::load(&root.join("lint_baseline.json")).expect("baseline loads");
+    assert!(!baseline.entries.is_empty(), "the committed baseline records the L1 debt");
+    let run = locap_lint::run_check(&root, &Config::locap(), &baseline).expect("scan");
+    assert!(run.passed(), "ratchet failures: {:#?}", run.failures);
+
+    // the clock and unsafe contracts hold outright: no grandfathered debt
+    for e in &baseline.entries {
+        assert!(
+            e.rule != "L2" && e.rule != "L4",
+            "{} must pass with zero baseline entries, found one for {}",
+            e.rule,
+            e.file
+        );
+        assert!(
+            !e.reason.trim().is_empty() && !e.reason.starts_with("TODO"),
+            "baseline entry {} {} lacks a real reason",
+            e.rule,
+            e.file
+        );
+    }
+}

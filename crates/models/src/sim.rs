@@ -223,8 +223,10 @@ pub fn run_sync_budgeted<A: SyncAlgorithm>(
     let mut inboxes: Vec<Vec<Option<A::Msg>>> = (0..n).map(|v| vec![None; g.degree(v)]).collect();
     let mut rounds = 0;
     let mut truncation = None;
+    /// Counter of messages delivered across all simulator runs.
+    const SIM_MESSAGES: &str = "sim/messages";
     let mut run_span = obs::span_with("sim/run", &[("nodes", n as i64)]);
-    let msgs_total = obs::counter("sim/messages");
+    let msgs_total = obs::counter(SIM_MESSAGES);
     for round in 0.. {
         if states.iter().all(|s| algo.halted(s)) {
             break;

@@ -24,6 +24,9 @@ step "cargo test -q (debug)" cargo test -q --workspace
 # guarantees must not depend on debug-only checks
 step "failure injection (release)" \
     cargo test -q --release -p locap-core --test failure_injection
+# workspace static analysis in ratchet mode: fails on any violation not
+# grandfathered (with a reason) by lint_baseline.json
+step "locap-lint" cargo run --release -q -p locap-lint -- check
 step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI gate passed."
