@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate [check|record|counters] [--baseline PATH] [--tolerance X] [--out PATH]
+//!            [--with-bench SPEC]...
 //! ```
 //!
 //! * `check` (default) — rerun every bench named in the baseline with
@@ -12,7 +13,14 @@
 //!   regression is slow on every rerun. Exit 0 when clean, 1 on any
 //!   regression / missing row / counter mismatch, 2 on config errors.
 //! * `record` — rerun the same benches and workload and write a fresh
-//!   schema-2 baseline to `--out` (default: the baseline path).
+//!   schema-2 baseline to `--out` (default: the baseline path). Each
+//!   `--with-bench SPEC` adds a bench target not yet in the baseline,
+//!   which is how a new scenario first enters `BENCH_views.json`.
+//!
+//! A bench spec (in a baseline row's `bench` field or `--with-bench`) is
+//! either a bare target in `locap-bench` (`view_engine`) or
+//! `package:target` for a bench in another workspace crate
+//! (`locap-serve:serve_load`).
 //! * `counters` — print the deterministic counter snapshot and exit
 //!   (debug aid; also what the schema-2 baseline embeds).
 //!
@@ -41,6 +49,7 @@ struct Config {
     baseline_path: String,
     out_path: Option<String>,
     tolerance: f64,
+    with_benches: Vec<String>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -52,6 +61,7 @@ fn parse_args() -> Result<Config, String> {
         Ok(v) => v.parse::<f64>().map_err(|_| format!("bad BENCH_GATE_TOLERANCE {v:?}"))?,
         Err(_) => 1.25,
     };
+    let mut with_benches = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -62,13 +72,19 @@ fn parse_args() -> Result<Config, String> {
                 let v = args.next().ok_or("--tolerance needs a value")?;
                 tolerance = v.parse().map_err(|_| format!("bad tolerance {v:?}"))?;
             }
+            "--with-bench" => {
+                with_benches.push(args.next().ok_or("--with-bench needs a bench spec")?)
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if tolerance <= 0.0 {
         return Err(format!("tolerance must be positive, got {tolerance}"));
     }
-    Ok(Config { mode, baseline_path, out_path, tolerance })
+    if !with_benches.is_empty() && mode != "record" {
+        return Err("--with-bench only applies to record mode".to_string());
+    }
+    Ok(Config { mode, baseline_path, out_path, tolerance, with_benches })
 }
 
 fn run() -> i32 {
@@ -97,11 +113,21 @@ fn load_baseline(path: &str) -> Result<gate::Baseline, String> {
     gate::parse_baseline(&text).map_err(|e| format!("parsing baseline {path}: {e}"))
 }
 
-/// Runs one bench target under the shim's TSV mode and returns its rows.
+/// Splits a bench spec into `(package, target)`; a bare target lives in
+/// `locap-bench`.
+fn split_spec(spec: &str) -> (&str, &str) {
+    match spec.split_once(':') {
+        Some((pkg, target)) => (pkg, target),
+        None => ("locap-bench", spec),
+    }
+}
+
+/// Runs one bench spec under the shim's TSV mode and returns its rows.
 fn run_bench(bench: &str) -> Result<Vec<gate::Measurement>, String> {
+    let (pkg, target) = split_spec(bench);
     eprintln!("bench_gate: running bench {bench} ...");
     let out = Command::new("cargo")
-        .args(["bench", "-q", "-p", "locap-bench", "--bench", bench])
+        .args(["bench", "-q", "-p", pkg, "--bench", target])
         .env("CRITERION_SHIM_TSV", "1")
         .output()
         .map_err(|e| format!("spawning cargo bench {bench}: {e}"))?;
@@ -217,13 +243,16 @@ fn check(cfg: &Config) -> i32 {
 }
 
 fn record(cfg: &Config) -> i32 {
-    let benches = match load_baseline(&cfg.baseline_path) {
+    let mut benches = match load_baseline(&cfg.baseline_path) {
         Ok(b) => b.benches(),
         Err(e) => {
             eprintln!("bench_gate: {e} (record mode needs an existing baseline to know which benches to run)");
             return 2;
         }
     };
+    benches.extend(cfg.with_benches.iter().cloned());
+    benches.sort();
+    benches.dedup();
     let rows = match run_benches(&benches) {
         Ok(r) => r,
         Err(e) => {

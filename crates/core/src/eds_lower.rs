@@ -200,7 +200,7 @@ pub fn lower_bound_report_budgeted(
         let _span = obs::span_with("symmetric_enum", &[("labels", k as i64)]);
         let mut best: Option<usize> = None;
         for mask in 1u32..(1 << k) {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 return Err(CoreError::Truncated {
                     stage: "symmetric enumeration",
                     reason: t.publish(),
@@ -220,7 +220,7 @@ pub fn lower_bound_report_budgeted(
         })?
     };
 
-    if let Some(t) = budget.check_deadline() {
+    if let Some(t) = budget.check_interrupt() {
         return Err(CoreError::Truncated { stage: "exact optimum", reason: t.publish() });
     }
     let opt_span = obs::span("opt_solve");

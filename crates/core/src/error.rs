@@ -49,6 +49,24 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Stable machine-readable tag for structured error responses. The
+    /// `locapd` wire protocol namespaces it: `Run` errors become
+    /// `run/<RunError::kind>`, `Truncated` becomes
+    /// `truncated/<TruncationReason::kind>`, and the remaining variants
+    /// become `core/<kind>`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::GeneratorSearchFailed { .. } => "generator_search_failed",
+            CoreError::TooLarge { .. } => "too_large",
+            CoreError::VerificationFailed { .. } => "verification_failed",
+            CoreError::BadParameters { .. } => "bad_parameters",
+            CoreError::Run(e) => e.kind(),
+            CoreError::Truncated { .. } => "truncated",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -148,7 +148,7 @@ fn verify_lift(
     let n = c.lift.node_count();
     let stride = (n / 97).max(1);
     for v in (0..n).step_by(stride) {
-        if let Some(t) = budget.check_deadline() {
+        if let Some(t) = budget.check_interrupt() {
             return Err(CoreError::Truncated { stage: "lift girth check", reason: t.publish() });
         }
         if und.cycle_near_root(v, bound) {
@@ -170,7 +170,7 @@ fn verify_lift(
         .map_err(|e| CoreError::BadParameters { reason: e.to_string() })?;
     let mut checked = 0usize;
     for v in (0..n).step_by(stride) {
-        if let Some(t) = budget.check_deadline() {
+        if let Some(t) = budget.check_interrupt() {
             return Err(CoreError::Truncated { stage: "lift order audit", reason: t.publish() });
         }
         if !c.good[v] {

@@ -277,7 +277,7 @@ pub fn find_generators_budgeted(
         });
     }
     loop {
-        if let Some(t) = budget.check_deadline() {
+        if let Some(t) = budget.check_interrupt() {
             return Err(CoreError::Truncated { stage: "generator search", reason: t.publish() });
         }
         attempts += 1;
@@ -409,7 +409,7 @@ pub fn construct_at_level_budgeted(
     }
 
     let tau = tau_star(level, &gens, r)?;
-    if let Some(t) = budget.check_deadline() {
+    if let Some(t) = budget.check_interrupt() {
         return Err(CoreError::Truncated { stage: "homogeneity census", reason: t.publish() });
     }
     let und = digraph.underlying_simple();

@@ -52,6 +52,7 @@ pub mod hom_lift;
 pub mod homogeneous;
 pub mod oi_to_po;
 pub mod ramsey;
+pub mod request;
 pub mod transfer;
 
 pub use error::CoreError;

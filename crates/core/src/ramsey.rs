@@ -95,7 +95,7 @@ where
             if self.partial.len() == self.m {
                 return Ok(true);
             }
-            if let Some(tr) = self.budget.check_deadline() {
+            if let Some(tr) = self.budget.check_interrupt() {
                 return Err(CoreError::Truncated { stage: "Ramsey search", reason: tr.publish() });
             }
             for i in start..self.sorted.len() {

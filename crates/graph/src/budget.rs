@@ -13,7 +13,7 @@
 //! and traces.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +85,35 @@ impl MonotonicClock for ManualClock {
     }
 }
 
+/// A shared cancellation flag for cooperative early termination.
+///
+/// Cancellation is the fourth budget axis, designed for *external*
+/// interruption (a client disconnecting from `locapd`, a daemon
+/// draining for shutdown) rather than resource exhaustion: any holder
+/// of a clone may [`CancelToken::cancel`], and every budget check site
+/// that watches the deadline also watches cancellation (via
+/// [`RunBudget::check_interrupt`]), so a cancelled run winds down at
+/// the next check with [`TruncationReason::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every budget sharing it trips on its next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// Why a budgeted run stopped early.
 ///
 /// Creating a reason does not count it; the site that acts on a
@@ -112,6 +141,8 @@ pub enum TruncationReason {
         /// Entries the computation needed when it stopped.
         needed: usize,
     },
+    /// A [`CancelToken`] attached to the budget was cancelled.
+    Cancelled,
 }
 
 impl TruncationReason {
@@ -121,6 +152,7 @@ impl TruncationReason {
             TruncationReason::RoundLimit { .. } => "round_limit",
             TruncationReason::DeadlineExceeded { .. } => "deadline",
             TruncationReason::CacheCapExceeded { .. } => "cache_cap",
+            TruncationReason::Cancelled => "cancelled",
         }
     }
 
@@ -144,6 +176,7 @@ impl fmt::Display for TruncationReason {
             TruncationReason::CacheCapExceeded { cap, needed } => {
                 write!(f, "cache entry cap {cap} exceeded (needed {needed})")
             }
+            TruncationReason::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -158,6 +191,7 @@ pub struct RunBudget {
     max_rounds: Option<usize>,
     deadline: Option<(Duration, Arc<dyn MonotonicClock>)>,
     max_cache_entries: Option<usize>,
+    cancel: Vec<CancelToken>,
 }
 
 impl RunBudget {
@@ -183,6 +217,14 @@ impl RunBudget {
     /// cache's refinement classes) may hold during the run.
     pub fn with_cache_cap(mut self, entries: usize) -> RunBudget {
         self.max_cache_entries = Some(entries);
+        self
+    }
+
+    /// Attaches a cancellation token; may be called more than once (the
+    /// run stops when *any* attached token is cancelled — e.g. a
+    /// per-connection token plus a daemon-wide drain token).
+    pub fn with_cancel(mut self, token: CancelToken) -> RunBudget {
+        self.cancel.push(token);
         self
     }
 
@@ -229,6 +271,23 @@ impl RunBudget {
             _ => None,
         }
     }
+
+    /// Whether any attached [`CancelToken`] was cancelled. Returns the
+    /// reason (unpublished) if so.
+    pub fn check_cancelled(&self) -> Option<TruncationReason> {
+        self.cancel
+            .iter()
+            .any(CancelToken::is_cancelled)
+            .then_some(TruncationReason::Cancelled)
+    }
+
+    /// The interrupt check every deadline-watching site uses:
+    /// cancellation first (it is cheaper and more urgent), then the
+    /// wall-clock deadline. Returns the reason (unpublished) if either
+    /// trips.
+    pub fn check_interrupt(&self) -> Option<TruncationReason> {
+        self.check_cancelled().or_else(|| self.check_deadline())
+    }
 }
 
 impl fmt::Debug for RunBudget {
@@ -237,6 +296,7 @@ impl fmt::Debug for RunBudget {
             .field("max_rounds", &self.max_rounds)
             .field("deadline", &self.deadline.as_ref().map(|(d, _)| *d))
             .field("max_cache_entries", &self.max_cache_entries)
+            .field("cancel_tokens", &self.cancel.len())
             .finish()
     }
 }
@@ -329,6 +389,42 @@ mod tests {
             b.check_cache(101),
             Some(TruncationReason::CacheCapExceeded { cap: 100, needed: 101 })
         );
+    }
+
+    #[test]
+    fn cancel_token_trips_check_interrupt() {
+        let token = CancelToken::new();
+        let b = RunBudget::unlimited().with_cancel(token.clone());
+        assert_eq!(b.check_cancelled(), None);
+        assert_eq!(b.check_interrupt(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.check_cancelled(), Some(TruncationReason::Cancelled));
+        assert_eq!(b.check_interrupt(), Some(TruncationReason::Cancelled));
+        assert_eq!(TruncationReason::Cancelled.kind(), "cancelled");
+        assert_eq!(TruncationReason::Cancelled.to_string(), "run cancelled");
+    }
+
+    #[test]
+    fn any_of_several_tokens_cancels() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let budget = RunBudget::unlimited().with_cancel(a.clone()).with_cancel(b.clone());
+        assert_eq!(budget.check_interrupt(), None);
+        b.cancel();
+        assert_eq!(budget.check_interrupt(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn interrupt_prefers_cancellation_over_deadline() {
+        let clock = Arc::new(ManualClock::new());
+        clock.set(Duration::from_secs(5));
+        let token = CancelToken::new();
+        token.cancel();
+        let b = RunBudget::unlimited()
+            .with_deadline(Duration::from_millis(1), clock)
+            .with_cancel(token);
+        assert_eq!(b.check_interrupt(), Some(TruncationReason::Cancelled));
     }
 
     #[test]

@@ -45,6 +45,7 @@ impl Config {
                 "crates/models/src/engine.rs",
                 "crates/core/src/",
                 "crates/graph/src/budget.rs",
+                "crates/serve/src/",
             ],
             clock_allow: vec![
                 ClockAllow {
@@ -85,6 +86,13 @@ impl Config {
                     max: 1,
                     reason: "timed(), the one ad-hoc timer experiment binaries are routed \
                              through",
+                },
+                ClockAllow {
+                    file: "crates/serve/src/provenance.rs",
+                    symbol: "SystemTime::now",
+                    max: 1,
+                    reason: "created_unix_ms() stamps provenance sidecars; nothing downstream \
+                             computes with the value",
                 },
             ],
             counter_exempt: vec!["crates/obs/src/"],

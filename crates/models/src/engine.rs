@@ -212,7 +212,7 @@ impl<'g> ViewEngine<'g> {
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut truncation = None;
         for (v, &c) in classes.iter().enumerate() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }
@@ -274,7 +274,7 @@ impl<'g> ViewEngine<'g> {
         let mut truncation = None;
         let mut processed = 0usize;
         for (v, &c) in classes.iter().enumerate() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }
@@ -390,7 +390,7 @@ impl<'g> OiEngine<'g> {
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
         for v in 0..self.g.node_count() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }
@@ -452,7 +452,7 @@ impl<'g> OiEngine<'g> {
         let mut truncation = None;
         let mut processed = 0usize;
         for v in self.g.nodes() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }
@@ -576,7 +576,7 @@ impl<'g> IdEngine<'g> {
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
         for v in 0..self.g.node_count() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }
@@ -637,7 +637,7 @@ impl<'g> IdEngine<'g> {
         let mut truncation = None;
         let mut processed = 0usize;
         for v in self.g.nodes() {
-            if let Some(t) = budget.check_deadline() {
+            if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
                 break;
             }

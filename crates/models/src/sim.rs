@@ -231,7 +231,7 @@ pub fn run_sync_budgeted<A: SyncAlgorithm>(
         if states.iter().all(|s| algo.halted(s)) {
             break;
         }
-        if let Some(t) = budget.check_rounds(round).or_else(|| budget.check_deadline()) {
+        if let Some(t) = budget.check_rounds(round).or_else(|| budget.check_interrupt()) {
             truncation = Some(t.publish());
             break;
         }

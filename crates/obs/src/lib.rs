@@ -583,6 +583,52 @@ impl Snapshot {
         out
     }
 
+    /// The per-request scoping primitive: the change in every metric
+    /// since `baseline` was taken (counters and span count/total
+    /// subtract saturating; gauges keep their current level — a level
+    /// has no meaningful difference; span min/max/p50 are kept from
+    /// `self`, as log-bucket aggregates cannot be subtracted exactly).
+    ///
+    /// Metrics absent from `baseline` appear with their full value;
+    /// metrics whose delta is zero are dropped, so the result holds
+    /// exactly what moved during the window. `locapd` and the `locap`
+    /// CLI bracket each pipeline run with snapshots and attach the
+    /// delta to the artifact's provenance sidecar. The registry is
+    /// process-global, so when requests run concurrently a window's
+    /// delta attributes everything that ran during it; with a single
+    /// worker (or the CLI) it is exact.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(baseline.counters.get(k).copied().unwrap_or(0));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, &v) in &self.gauges {
+            if baseline.gauges.get(k) != Some(&v) {
+                out.gauges.insert(k.clone(), v);
+            }
+        }
+        for (k, s) in &self.spans {
+            let base = baseline.spans.get(k).copied().unwrap_or_default();
+            let count = s.count.saturating_sub(base.count);
+            if count > 0 {
+                out.spans.insert(
+                    k.clone(),
+                    HistStats {
+                        count,
+                        total_ns: s.total_ns.saturating_sub(base.total_ns),
+                        min_ns: s.min_ns,
+                        max_ns: s.max_ns,
+                        p50_ns: s.p50_ns,
+                    },
+                );
+            }
+        }
+        out
+    }
+
     /// Parses a document produced by [`Snapshot::to_json`]; returns the
     /// source tag and the snapshot. Span `total_ns`/`max_ns` fields are
     /// optional (absent in hand-written baselines).
@@ -720,5 +766,45 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let s = Histogram::default().snapshot();
         assert_eq!(s, HistStats::default());
+    }
+
+    #[test]
+    fn delta_keeps_only_what_moved() {
+        let reg = Registry::new();
+        reg.counter("stable").add(5);
+        reg.counter("hot").add(2);
+        reg.gauge("level").set(3);
+        reg.record_span_ns("s", 10);
+        let before = reg.snapshot();
+
+        reg.counter("hot").add(7);
+        reg.counter("fresh").inc();
+        reg.gauge("level").set(4);
+        reg.record_span_ns("s", 30);
+        reg.record_span_ns("t", 50);
+        let after = reg.snapshot();
+
+        let d = after.delta(&before);
+        assert_eq!(d.counters.get("hot"), Some(&7));
+        assert_eq!(d.counters.get("fresh"), Some(&1));
+        assert!(!d.counters.contains_key("stable"), "unchanged counter dropped");
+        assert_eq!(d.gauges.get("level"), Some(&4));
+        assert_eq!(d.spans["s"].count, 1);
+        assert_eq!(d.spans["s"].total_ns, 30);
+        assert_eq!(d.spans["t"].count, 1);
+        assert_eq!(d.spans["t"].total_ns, 50);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1);
+        reg.record_span_ns("s", 5);
+        let snap = reg.snapshot();
+        let d = snap.delta(&snap.clone());
+        assert!(d.counters.is_empty());
+        assert!(d.gauges.is_empty());
+        assert!(d.spans.is_empty());
     }
 }

@@ -1,0 +1,27 @@
+//! The serving layer over the locap core pipelines.
+//!
+//! Two front-ends share one dispatch surface
+//! ([`locap_core::request::PipelineRequest`]):
+//!
+//! * **`locap`** — a CLI with one subcommand per pipeline, emitting
+//!   deterministic human output (or the standard `OBS_JSON=1` metrics
+//!   line) and optional result artifacts with provenance sidecars;
+//! * **`locapd`** — a long-running TCP daemon speaking newline-delimited
+//!   JSON ([`protocol`]), dispatching requests onto a bounded worker pool
+//!   ([`daemon`]) with per-request [`locap_graph::budget::RunBudget`]s,
+//!   answering every failure with a typed error response, and writing a
+//!   `*.provenance.json` sidecar ([`provenance`]) for every artifact.
+//!
+//! The wire protocol is hand-rolled on the `locap-obs` JSON machinery —
+//! no new dependencies, per the workspace's offline-shim policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod protocol;
+pub mod provenance;
+
+pub use daemon::{
+    CONNECTIONS, DISCONNECTS, QUEUE_DEPTH, REQUESTS, RESP_ERR, RESP_OK, SIDECARS, UNDELIVERABLE,
+};

@@ -1,0 +1,169 @@
+//! Golden-output tests for the `locap` CLI.
+//!
+//! Every pipeline subcommand is locked two ways:
+//!
+//! * **human output** — byte-for-byte against
+//!   `tests/golden/<name>.txt` (the CLI prints no timings, so the
+//!   output is fully deterministic);
+//! * **`OBS_JSON=1` output** — exactly one stdout line of schema-valid
+//!   JSON (the same `validate_bench_schema` contract as
+//!   `crates/bench/tests/obs_json.rs`), with the *metric-name set*
+//!   locked against `tests/golden/<name>.metrics.txt` (values are
+//!   timings and may vary).
+//!
+//! Regenerate snapshots with `UPDATE_GOLDEN=1 cargo test -p locap-serve
+//! --test cli_golden` and review the diff like any other code change.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use locap_obs::json::Json;
+
+/// The locked subcommand matrix: (snapshot name, CLI args).
+const CASES: &[(&str, &[&str])] = &[
+    ("pipelines", &["pipelines"]),
+    ("eds_lower", &["eds-lower", "--n", "9", "--delta-prime", "2"]),
+    ("homogeneous", &["homogeneous", "--k", "1", "--r", "1", "--m", "6"]),
+    ("hom_lift", &["hom-lift", "--cycle", "3", "--m", "6"]),
+    ("oi_to_po", &["oi-to-po", "--algo", "vc-non-min", "--cycle", "9", "--m", "6"]),
+    ("ramsey", &["ramsey", "--algo", "local-max", "--universe", "20", "--r", "1", "--m", "5"]),
+    ("transfer", &["transfer", "--algo", "vc-non-min", "--cycle", "9", "--m", "6"]),
+    ("census", &["census", "--family", "directed-cycle", "--n", "12", "--radius", "2"]),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn locap(args: &[&str], obs_json: bool) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_locap"));
+    cmd.args(args).env_remove("OBS_JSON").env_remove("OBS_TRACE");
+    if obs_json {
+        cmd.env("OBS_JSON", "1");
+    }
+    cmd.output().unwrap_or_else(|e| panic!("spawn locap {args:?}: {e}"))
+}
+
+#[track_caller]
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name}: output drifted from its snapshot; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn human_output_matches_golden_snapshots() {
+    for (name, args) in CASES {
+        let out = locap(args, false);
+        assert!(
+            out.status.success(),
+            "{name}: exit {} — {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap_or_else(|e| panic!("{name}: utf8: {e}"));
+        check_golden(&format!("{name}.txt"), &stdout);
+    }
+}
+
+#[test]
+fn obs_json_output_is_schema_valid_with_locked_metric_names() {
+    for (name, args) in CASES {
+        if *name == "pipelines" {
+            continue; // a listing, not a pipeline run — no metrics line
+        }
+        let out = locap(args, true);
+        assert!(
+            out.status.success(),
+            "{name}: exit {} — {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap_or_else(|e| panic!("{name}: utf8: {e}"));
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1,
+            "{name}: OBS_JSON=1 must print exactly one line, got {stdout:?}"
+        );
+        let doc = Json::parse(lines[0]).unwrap_or_else(|e| panic!("{name}: JSON parse: {e}"));
+        locap_obs::validate_bench_schema(&doc)
+            .unwrap_or_else(|e| panic!("{name}: schema validation: {e}"));
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("locap"), "{name}: source tag");
+        let results = doc.get("results").and_then(Json::as_array).expect("results array");
+        let mut metric_names: Vec<&str> =
+            results.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+        assert!(metric_names.contains(&"total"), "{name}: missing the total span row");
+        metric_names.sort_unstable();
+        let mut listing: String = metric_names.join("\n");
+        listing.push('\n');
+        check_golden(&format!("{name}.metrics.txt"), &listing);
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_without_polluting_stdout() {
+    for args in [&["warp-drive"][..], &[][..], &["census", "--family"][..]] {
+        let out = locap(args, false);
+        assert_eq!(out.status.code(), Some(2), "usage errors exit 2 for {args:?}");
+        assert!(out.stdout.is_empty(), "usage errors keep stdout clean for {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "stderr shows usage for {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn pipeline_failures_exit_1_with_a_typed_kind_on_stderr() {
+    // delta_prime=2 needs n divisible by 3: a clean in-pipeline failure.
+    let out = locap(&["eds-lower", "--n", "10"], false);
+    assert_eq!(out.status.code(), Some(1), "pipeline errors exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("core/") || stderr.contains("run/") || stderr.contains("truncated/"),
+        "stderr names the error kind: {stderr}"
+    );
+}
+
+/// `--out` writes the artifact and its provenance sidecar.
+#[test]
+fn out_flag_writes_artifact_and_sidecar() {
+    let dir = std::env::temp_dir().join(format!("locap-cli-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let artifact = dir.join("census.json");
+    let out = locap(
+        &[
+            "census",
+            "--family",
+            "directed-cycle",
+            "--n",
+            "12",
+            "--out",
+            artifact.to_str().expect("utf8 temp path"),
+        ],
+        false,
+    );
+    assert!(out.status.success(), "exit {}", out.status);
+    let doc = Json::parse(std::fs::read_to_string(&artifact).expect("artifact written").trim())
+        .expect("artifact is JSON");
+    assert_eq!(doc.get("nodes").and_then(Json::as_u64), Some(12));
+    let sidecar_path = dir.join("census.json.provenance.json");
+    let sidecar =
+        Json::parse(std::fs::read_to_string(&sidecar_path).expect("sidecar written").trim())
+            .expect("sidecar is JSON");
+    assert_eq!(sidecar.get("tool").and_then(Json::as_str), Some("locap"));
+    assert_eq!(sidecar.get("pipeline").and_then(Json::as_str), Some("census"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

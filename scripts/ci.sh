@@ -24,6 +24,11 @@ step "cargo test -q (debug)" cargo test -q --workspace
 # guarantees must not depend on debug-only checks
 step "failure injection (release)" \
     cargo test -q --release -p locap-core --test failure_injection
+# serving-layer suites re-run in release: the protocol conformance,
+# wire fuzzing, CLI goldens, daemon fault injection, and the
+# concurrent load test (lost/duplicated responses would be a
+# release-profile race, invisible to the debug pass above)
+step "serve conformance (release)" cargo test -q --release -p locap-serve
 # workspace static analysis in ratchet mode: fails on any violation not
 # grandfathered (with a reason) by lint_baseline.json
 step "locap-lint" cargo run --release -q -p locap-lint -- check

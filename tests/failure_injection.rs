@@ -398,6 +398,108 @@ mod budget_truncation {
     }
 }
 
+/// The cancellation axis (the serving layer's disconnect path): a
+/// tripped [`CancelToken`] must stop engines and pipelines exactly like
+/// an expired deadline, as a typed `Cancelled` truncation.
+mod cancellation_faults {
+    use super::*;
+    use locap_core::eds_lower;
+    use locap_core::homogeneous::construct_budgeted;
+    use locap_core::request::PipelineRequest;
+    use locap_graph::budget::CancelToken;
+    use locap_obs::json::Json;
+
+    fn cancelled_budget() -> (CancelToken, RunBudget) {
+        let token = CancelToken::new();
+        token.cancel();
+        (token.clone(), RunBudget::unlimited().with_cancel(token))
+    }
+
+    #[test]
+    fn engines_truncate_on_cancellation_with_empty_prefix() {
+        let g = gen::cycle(12);
+        let ids: Vec<u64> = (0..12).collect();
+        let (_, budget) = cancelled_budget();
+        let id = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget).unwrap();
+        assert!(matches!(id.truncation, Some(TruncationReason::Cancelled)));
+        assert!(id.value.len() < 12, "a cancelled run cannot complete all vertices");
+    }
+
+    #[test]
+    fn cancellation_wins_over_an_expired_deadline() {
+        let (token, _) = cancelled_budget();
+        let budget = expired_deadline().with_cancel(token);
+        assert!(matches!(budget.check_interrupt(), Some(TruncationReason::Cancelled)));
+    }
+
+    #[test]
+    fn any_tripped_token_cancels_a_multi_token_budget() {
+        // the daemon composes a per-connection and a drain token
+        let quiet = CancelToken::new();
+        let (tripped, _) = cancelled_budget();
+        let budget = RunBudget::unlimited().with_cancel(quiet).with_cancel(tripped);
+        assert!(matches!(budget.check_cancelled(), Some(TruncationReason::Cancelled)));
+    }
+
+    #[test]
+    fn pipelines_truncate_on_cancellation() {
+        let (_, budget) = cancelled_budget();
+        let inst = eds_instance(2, 9).unwrap();
+        let res = eds_lower::lower_bound_report_budgeted(&inst, &budget);
+        assert!(matches!(
+            res,
+            Err(CoreError::Truncated { reason: TruncationReason::Cancelled, .. })
+        ));
+        let res = construct_budgeted(1, 1, 6, &budget);
+        assert!(matches!(
+            res,
+            Err(CoreError::Truncated { reason: TruncationReason::Cancelled, .. })
+        ));
+    }
+
+    /// Every request the serving layer can dispatch truncates under a
+    /// pre-tripped token — the invariant the daemon's disconnect and
+    /// drain paths rely on.
+    #[test]
+    fn every_request_pipeline_truncates_on_cancellation() {
+        let cases: &[(&str, &str)] = &[
+            ("eds-lower", r#"{"n":9}"#),
+            ("homogeneous", r#"{"m":6}"#),
+            ("hom-lift", r#"{"cycle":3,"m":6}"#),
+            ("oi-to-po", r#"{"algo":"vc-non-min","cycle":9}"#),
+            ("ramsey", r#"{"algo":"local-max","m":5}"#),
+            ("transfer", r#"{"algo":"vc-non-min","cycle":9}"#),
+            ("census", r#"{"family":"directed-cycle","n":12}"#),
+        ];
+        let (_, budget) = cancelled_budget();
+        for (pipeline, params) in cases {
+            let request = PipelineRequest::parse(pipeline, &Json::parse(params).unwrap())
+                .unwrap_or_else(|e| panic!("{pipeline}: {e}"));
+            let res = request.run(&budget);
+            assert!(
+                matches!(
+                    res,
+                    Err(CoreError::Truncated { reason: TruncationReason::Cancelled, .. })
+                ),
+                "{pipeline} must cancel cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_counters_reach_snapshots() {
+        let before = locap_obs::counter("budget/truncated/cancelled").get();
+        let (_, budget) = cancelled_budget();
+        let g = gen::cycle(8);
+        let ids: Vec<u64> = (0..8).collect();
+        let _ = run::id_vertex_budgeted(&g, &ids, &IdMax, &budget);
+        assert!(
+            locap_obs::counter("budget/truncated/cancelled").get() > before,
+            "cancelled truncations publish their counter"
+        );
+    }
+}
+
 mod obs_visibility {
     use super::*;
 
