@@ -113,18 +113,9 @@ fn load_baseline(path: &str) -> Result<gate::Baseline, String> {
     gate::parse_baseline(&text).map_err(|e| format!("parsing baseline {path}: {e}"))
 }
 
-/// Splits a bench spec into `(package, target)`; a bare target lives in
-/// `locap-bench`.
-fn split_spec(spec: &str) -> (&str, &str) {
-    match spec.split_once(':') {
-        Some((pkg, target)) => (pkg, target),
-        None => ("locap-bench", spec),
-    }
-}
-
 /// Runs one bench spec under the shim's TSV mode and returns its rows.
 fn run_bench(bench: &str) -> Result<Vec<gate::Measurement>, String> {
-    let (pkg, target) = split_spec(bench);
+    let (pkg, target) = gate::split_spec(bench);
     eprintln!("bench_gate: running bench {bench} ...");
     let out = Command::new("cargo")
         .args(["bench", "-q", "-p", pkg, "--bench", target])

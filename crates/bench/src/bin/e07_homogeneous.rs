@@ -38,10 +38,10 @@ fn body() {
     let mut tau_consistency = Vec::new();
     let ((), total) = timed(|| {
         for (k, r, ms) in [
-            (1usize, 1usize, vec![6u64, 10, 16, 24]),
-            (2, 1, vec![6, 10, 16]),
-            (1, 2, vec![8, 12, 20]),
-            (2, 2, vec![12, 16]),
+            (1usize, 1usize, vec![6u64, 10, 16, 24, 32]),
+            (2, 1, vec![6, 10, 16, 20]),
+            (1, 2, vec![8, 12, 20, 24]),
+            (2, 2, vec![12, 16, 20]),
         ] {
             let mut taus = Vec::new();
             for &m in &ms {

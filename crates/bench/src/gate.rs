@@ -264,10 +264,27 @@ pub fn compare_counters(
     out
 }
 
+/// Splits a bench spec into `(package, target)`: `pkg:target` names an
+/// explicit package, a bare target lives in `locap-bench`.
+///
+/// ```
+/// use locap_bench::gate::split_spec;
+/// assert_eq!(split_spec("locap-graph:canon"), ("locap-graph", "canon"));
+/// assert_eq!(split_spec("views"), ("locap-bench", "views"));
+/// ```
+pub fn split_spec(spec: &str) -> (&str, &str) {
+    match spec.split_once(':') {
+        Some((pkg, target)) => (pkg, target),
+        None => ("locap-bench", spec),
+    }
+}
+
 /// Counter prefixes that are deterministic under [`counter_workload`]
-/// (timing spans and worker gauges are machine-dependent and excluded).
+/// (timing spans and worker gauges are machine-dependent and excluded;
+/// `intern/` hits and misses are deterministic because the workload's
+/// graphs stay below every parallel-fan-out threshold).
 const STABLE_PREFIXES: &[&str] =
-    &["engine/", "view_cache/", "census/", "homogeneous/", "oi_to_po/"];
+    &["engine/", "view_cache/", "census/", "homogeneous/", "oi_to_po/", "intern/"];
 
 /// Runs a fixed, deterministic workload through the instrumented engines
 /// and returns the stable counter snapshot. Must be called in a fresh
@@ -549,6 +566,18 @@ mod tests {
         assert_eq!(b.schema, obs::SCHEMA_VERSION);
         assert_eq!(b.counters["engine/po/evals"], 3);
         assert_eq!(b.rows["view_engine/census"].median_ns, 42);
+    }
+
+    #[test]
+    fn split_spec_round_trips() {
+        assert_eq!(split_spec("locap-graph:canon"), ("locap-graph", "canon"));
+        assert_eq!(split_spec("views"), ("locap-bench", "views"));
+        // a qualified spec re-joined from its parts parses back identically
+        let (pkg, target) = split_spec("locap-serve:serve_load");
+        assert_eq!(split_spec(&format!("{pkg}:{target}")), (pkg, target));
+        // only the first ':' splits, so targets may not contain one —
+        // the remainder stays with the target verbatim
+        assert_eq!(split_spec("a:b:c"), ("a", "b:c"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use crate::{Graph, NodeId};
+use crate::{Graph, NodeBitset, NodeId};
 
 impl Graph {
     /// Distances from `src` up to `radius` (`None` beyond the radius or
@@ -45,27 +45,26 @@ impl Graph {
         self.distances_from(u, usize::MAX)[v]
     }
 
-    /// The radius-`r` ball as a sorted vertex list, computed with a local
-    /// hash-map BFS — `O(|ball|)` instead of `O(n)`, for censuses over
-    /// large graphs.
+    /// The radius-`r` ball as a sorted vertex list, computed with a
+    /// truncated BFS over a [`NodeBitset`] membership set — touched-word
+    /// bookkeeping keeps the work proportional to the ball, not to `n`.
     pub fn ball_local(&self, v: NodeId, r: usize) -> Vec<NodeId> {
-        let mut dist: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
-        let mut q = VecDeque::new();
-        dist.insert(v, 0);
-        q.push_back(v);
-        while let Some(x) = q.pop_front() {
-            let d = dist[&x];
+        let mut seen = NodeBitset::new(self.node_count());
+        let mut q: VecDeque<(NodeId, usize)> = VecDeque::new();
+        let mut out = vec![v];
+        seen.insert(v);
+        q.push_back((v, 0));
+        while let Some((x, d)) = q.pop_front() {
             if d == r {
                 continue;
             }
             for &u in self.neighbors(x) {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
-                    e.insert(d + 1);
-                    q.push_back(u);
+                if seen.insert(u) {
+                    out.push(u);
+                    q.push_back((u, d + 1));
                 }
             }
         }
-        let mut out: Vec<NodeId> = dist.into_keys().collect();
         out.sort_unstable();
         out
     }
@@ -77,29 +76,24 @@ impl Graph {
     /// Cayley graphs.
     pub fn cycle_near_root(&self, root: NodeId, bound: usize) -> bool {
         let half = bound / 2 + 1;
-        let mut dist: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
-        let mut parent: std::collections::HashMap<NodeId, NodeId> =
-            std::collections::HashMap::new();
+        let n = self.node_count();
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![u32::MAX; n];
         let mut q = VecDeque::new();
-        dist.insert(root, 0);
+        dist[root] = 0;
         q.push_back(root);
         while let Some(v) = q.pop_front() {
-            let dv = dist[&v];
+            let dv = dist[v] as usize;
             if dv >= half {
                 continue;
             }
             for &u in self.neighbors(v) {
-                match dist.get(&u) {
-                    None => {
-                        dist.insert(u, dv + 1);
-                        parent.insert(u, v);
-                        q.push_back(u);
-                    }
-                    Some(&du) => {
-                        if parent.get(&v) != Some(&u) && dv + du < bound {
-                            return true;
-                        }
-                    }
+                if dist[u] == u32::MAX {
+                    dist[u] = (dv + 1) as u32;
+                    parent[u] = v as u32;
+                    q.push_back(u);
+                } else if parent[v] != u as u32 && dv + (dist[u] as usize) < bound {
+                    return true;
                 }
             }
         }

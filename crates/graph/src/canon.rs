@@ -15,9 +15,77 @@
 //!
 //! In every case, **isomorphism is exactly equality of the canonical
 //! encodings**, so no search is involved.
+//!
+//! # Packed keys and interning
+//!
+//! Each canonical form has a flat `u64` *key* encoding, written by the
+//! `*_key_into` extractors with no allocation beyond the caller's reused
+//! buffers. Keys preserve equality exactly (`key(a) == key(b)` iff the
+//! structs are equal — the layouts below are injective), so hot paths
+//! intern keys into a [`KeyInterner`] and compare dense integer ids
+//! instead of hashing owned structs; [`OrderedNbhd::from_key`] and
+//! friends decode a key back when the algorithm needs the struct.
+//!
+//! Layouts (`n` = ball size, `root` = centre position):
+//!
+//! * [`OrderedNbhd`] — `(n << 32) | root`, then one word `(i << 32) | j`
+//!   per induced edge, ascending;
+//! * [`IdNbhd`] — `(n << 32) | root`, then the `n` identifier values,
+//!   then the packed edges;
+//! * [`OrderedLNbhd`] — `(n << 32) | root`, then two words per directed
+//!   labelled edge, `(from << 32) | to` followed by `label`, ascending.
 
-use crate::{Graph, LDigraph, NodeId};
+use crate::{CsrGraph, Graph, KeyInterner, LDigraph, NodeId};
 use locap_obs as obs;
+
+/// Read-only adjacency, abstracting over [`Graph`] (nested `Vec`s, cheap
+/// to build) and [`CsrGraph`] (flat arrays, cheap to scan) so the BFS and
+/// canonical-form extractors run identically on either layout.
+pub trait Adjacency {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Calls `f` on every neighbour of `v`, in sorted order.
+    fn for_each_neighbor(&self, v: NodeId, f: impl FnMut(NodeId));
+}
+
+impl Adjacency for Graph {
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+}
+
+impl Adjacency for CsrGraph {
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        for &u in self.neighbors(v) {
+            f(u as NodeId);
+        }
+    }
+}
+
+/// A node→position index over a ball: pairs `(node, position)` sorted by
+/// node, answering lookups by binary search. Replaces the fresh
+/// `HashMap` (and the `O(|ball|)` `position` scans) the naive extractors
+/// used to rebuild per call.
+fn position_index(ball: &[NodeId]) -> Vec<(NodeId, u32)> {
+    let mut ix: Vec<(NodeId, u32)> = ball.iter().enumerate().map(|(i, &u)| (u, i as u32)).collect();
+    ix.sort_unstable();
+    ix
+}
+
+/// The position of `u` in the ball behind `ix`, if present.
+fn position_of(ix: &[(NodeId, u32)], u: NodeId) -> Option<u32> {
+    ix.binary_search_by_key(&u, |&(node, _)| node).ok().map(|i| ix[i].1)
+}
 
 /// Canonical form of an *ordered* radius-`r` neighbourhood τ(G, <, v) of an
 /// undirected graph.
@@ -34,6 +102,23 @@ pub struct OrderedNbhd {
     pub root: u32,
     /// Induced edges between sorted-ball positions, `(i, j)` with `i < j`.
     pub edges: Vec<(u32, u32)>,
+}
+
+impl OrderedNbhd {
+    /// Decodes a packed key written by [`ordered_key_into`] — the inverse
+    /// of the encoding, so `from_key(key(t)) == t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (every valid key has a header word).
+    pub fn from_key(key: &[u64]) -> OrderedNbhd {
+        let head = key[0];
+        OrderedNbhd {
+            n: (head >> 32) as u32,
+            root: head as u32,
+            edges: key[1..].iter().map(|&w| ((w >> 32) as u32, w as u32)).collect(),
+        }
+    }
 }
 
 /// Computes the canonical ordered neighbourhood τ(G, <, v) of radius `r`.
@@ -59,15 +144,12 @@ pub struct OrderedNbhd {
 pub fn ordered_nbhd(g: &Graph, rank: &[usize], v: NodeId, r: usize) -> OrderedNbhd {
     let mut ball = g.ball_local(v, r);
     ball.sort_by_key(|&u| rank[u]);
-    let mut index = std::collections::HashMap::with_capacity(ball.len());
-    for (i, &u) in ball.iter().enumerate() {
-        index.insert(u, i as u32);
-    }
-    let root = index.get(&v).copied().unwrap_or(0);
+    let ix = position_index(&ball);
+    let root = position_of(&ix, v).unwrap_or(0);
     let mut edges = Vec::new();
     for (i, &a) in ball.iter().enumerate() {
         for &b in g.neighbors(a) {
-            if let Some(&j) = index.get(&b) {
+            if let Some(j) = position_of(&ix, b) {
                 if (i as u32) < j {
                     edges.push((i as u32, j));
                 }
@@ -92,6 +174,26 @@ pub struct OrderedLNbhd {
     pub edges: Vec<(u32, u32, u32)>,
 }
 
+impl OrderedLNbhd {
+    /// Decodes a packed key written by [`ordered_lkey_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or a tail that is not whole two-word
+    /// edge records.
+    pub fn from_key(key: &[u64]) -> OrderedLNbhd {
+        let head = key[0];
+        OrderedLNbhd {
+            n: (head >> 32) as u32,
+            root: head as u32,
+            edges: key[1..]
+                .chunks_exact(2)
+                .map(|pair| ((pair[0] >> 32) as u32, pair[0] as u32, pair[1] as u32))
+                .collect(),
+        }
+    }
+}
+
 /// Computes the canonical ordered neighbourhood of `v` in an L-digraph,
 /// where distance is measured in the underlying undirected graph.
 pub fn ordered_lnbhd(d: &LDigraph, rank: &[usize], v: NodeId, r: usize) -> OrderedLNbhd {
@@ -100,8 +202,8 @@ pub fn ordered_lnbhd(d: &LDigraph, rank: &[usize], v: NodeId, r: usize) -> Order
 }
 
 /// Like [`ordered_lnbhd`] but with a precomputed underlying graph and a
-/// local-BFS ball: `O(|ball|)` per call, for exact censuses over large
-/// graphs.
+/// local-BFS ball: `O(|ball| log |ball|)` per call, for exact censuses
+/// over large graphs.
 pub fn ordered_lnbhd_in(
     d: &LDigraph,
     und: &Graph,
@@ -111,16 +213,13 @@ pub fn ordered_lnbhd_in(
 ) -> OrderedLNbhd {
     let mut ball = und.ball_local(v, r);
     ball.sort_by_key(|&u| rank[u]);
-    let root = ball.iter().position(|&x| x == v).expect("centre is in its ball") as u32;
-    let mut index = std::collections::HashMap::new();
-    for (i, &u) in ball.iter().enumerate() {
-        index.insert(u, i as u32);
-    }
+    let ix = position_index(&ball);
+    let root = position_of(&ix, v).expect("centre is in its ball");
     let mut edges = Vec::new();
-    for &a in &ball {
+    for (i, &a) in ball.iter().enumerate() {
         for e in d.out_edges(a) {
-            if let Some(&j) = index.get(&e.to) {
-                edges.push((index[&a], j, e.label as u32));
+            if let Some(j) = position_of(&ix, e.to) {
+                edges.push((i as u32, j, e.label as u32));
             }
         }
     }
@@ -159,6 +258,22 @@ impl IdNbhd {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "relabelling must preserve order");
         IdNbhd { ids, root: self.root, edges: self.edges.clone() }
     }
+
+    /// Decodes a packed key written by [`id_key_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice is shorter than its header's ball size
+    /// promises.
+    pub fn from_key(key: &[u64]) -> IdNbhd {
+        let head = key[0];
+        let n = (head >> 32) as usize;
+        IdNbhd {
+            ids: key[1..1 + n].to_vec(),
+            root: head as u32,
+            edges: key[1 + n..].iter().map(|&w| ((w >> 32) as u32, w as u32)).collect(),
+        }
+    }
 }
 
 /// Computes the canonical ID neighbourhood τ(G, v) of radius `r` given the
@@ -171,15 +286,12 @@ pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
     let mut ball = g.ball_local(v, r);
     ball.sort_by_key(|&u| ids[u]);
     debug_assert!(ball.windows(2).all(|w| ids[w[0]] != ids[w[1]]), "identifiers must be unique");
-    let mut index = std::collections::HashMap::with_capacity(ball.len());
-    for (i, &u) in ball.iter().enumerate() {
-        index.insert(u, i as u32);
-    }
-    let root = index.get(&v).copied().unwrap_or(0);
+    let ix = position_index(&ball);
+    let root = position_of(&ix, v).unwrap_or(0);
     let mut edges = Vec::new();
     for (i, &a) in ball.iter().enumerate() {
         for &b in g.neighbors(a) {
-            if let Some(&j) = index.get(&b) {
+            if let Some(j) = position_of(&ix, b) {
                 if (i as u32) < j {
                     edges.push((i as u32, j));
                 }
@@ -190,11 +302,11 @@ pub fn id_nbhd(g: &Graph, ids: &[u64], v: NodeId, r: usize) -> IdNbhd {
     IdNbhd { ids: ball.iter().map(|&u| ids[u]).collect(), root, edges }
 }
 
-/// Reusable workspace for the `*_fast` canonical-form extractors: an
-/// epoch-stamped membership/position map plus a BFS queue, giving
-/// `O(|ball| + |induced edges|)` per call with **no** per-call allocation
-/// beyond the output (the naive paths pay `O(|ball|²)` in
-/// `Vec::position` scans and a fresh `HashMap` per call).
+/// Reusable workspace for the `*_fast` / `*_key_into` canonical-form
+/// extractors: an epoch-stamped membership/position map plus a BFS queue,
+/// giving `O(|ball| + |induced edges|)` per call with **no** per-call
+/// allocation beyond the output (the naive paths pay sorting and a fresh
+/// position index per call).
 ///
 /// One scratch serves one thread; parallel censuses give each worker its
 /// own (see [`ordered_type_census`]).
@@ -207,6 +319,10 @@ pub struct NbhdScratch {
     epoch: u32,
     queue: std::collections::VecDeque<NodeId>,
     ball: Vec<NodeId>,
+    /// Reused buffer for sorted directed labelled edges.
+    ledge_buf: Vec<(u32, u32, u32)>,
+    /// Reused key buffer backing the struct-returning `*_fast` wrappers.
+    key_buf: Vec<u64>,
 }
 
 impl NbhdScratch {
@@ -219,7 +335,7 @@ impl NbhdScratch {
     /// Starts a fresh ball computation: bumps the epoch (resetting all
     /// stamps in O(1)) and runs a truncated BFS from `v` in `g`. Leaves
     /// `self.ball` holding the ball sorted by node id.
-    fn fill_ball(&mut self, g: &Graph, v: NodeId, r: usize) {
+    fn fill_ball(&mut self, g: &impl Adjacency, v: NodeId, r: usize) {
         let n = g.node_count();
         if self.stamp.len() < n {
             self.stamp.resize(n, 0);
@@ -244,14 +360,14 @@ impl NbhdScratch {
             if d == r {
                 continue;
             }
-            for &u in g.neighbors(x) {
+            g.for_each_neighbor(x, |u| {
                 if self.stamp[u] != epoch {
                     self.stamp[u] = epoch;
                     self.pos[u] = (d + 1) as u32;
                     self.ball.push(u);
                     self.queue.push_back(u);
                 }
-            }
+            });
         }
         self.ball.sort_unstable();
     }
@@ -264,44 +380,39 @@ impl NbhdScratch {
     }
 }
 
-/// [`ordered_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
-/// `O(|ball| + |induced edges|)` per call.
-pub fn ordered_nbhd_fast(
-    g: &Graph,
+/// Writes the packed key of τ(G, <, v) into `key` (clearing it first):
+/// the canonical content of [`ordered_nbhd`] with no allocation beyond
+/// the reused buffers. `OrderedNbhd::from_key(key)` recovers the struct.
+pub fn ordered_key_into(
+    g: &impl Adjacency,
     rank: &[usize],
     v: NodeId,
     r: usize,
     scratch: &mut NbhdScratch,
-) -> OrderedNbhd {
+    key: &mut Vec<u64>,
+) {
     scratch.fill_ball(g, v, r);
     scratch.ball.sort_by_key(|&u| rank[u]);
     scratch.index_ball();
-    let root = scratch.pos[v];
-    let mut edges = Vec::new();
-    for (i, &a) in scratch.ball.iter().enumerate() {
-        for &b in g.neighbors(a) {
-            if scratch.stamp[b] == scratch.epoch {
-                let j = scratch.pos[b] as usize;
-                if i < j {
-                    edges.push((i as u32, j as u32));
-                }
-            }
-        }
-    }
-    edges.sort_unstable();
-    edges.dedup();
-    OrderedNbhd { n: scratch.ball.len() as u32, root, edges }
+    key.clear();
+    key.push(((scratch.ball.len() as u64) << 32) | scratch.pos[v] as u64);
+    push_undirected_edges(g, scratch, key, 1);
 }
 
-/// [`id_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
-/// `O(|ball| + |induced edges|)` per call.
-pub fn id_nbhd_fast(
-    g: &Graph,
+/// Writes the packed key of the ID neighbourhood τ(G, v) into `key`;
+/// `IdNbhd::from_key(key)` recovers the struct.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if identifiers in the ball are not distinct.
+pub fn id_key_into(
+    g: &impl Adjacency,
     ids: &[u64],
     v: NodeId,
     r: usize,
     scratch: &mut NbhdScratch,
-) -> IdNbhd {
+    key: &mut Vec<u64>,
+) {
     scratch.fill_ball(g, v, r);
     scratch.ball.sort_by_key(|&u| ids[u]);
     debug_assert!(
@@ -309,37 +420,64 @@ pub fn id_nbhd_fast(
         "identifiers must be unique"
     );
     scratch.index_ball();
-    let root = scratch.pos[v];
-    let mut edges = Vec::new();
+    key.clear();
+    key.push(((scratch.ball.len() as u64) << 32) | scratch.pos[v] as u64);
+    key.extend(scratch.ball.iter().map(|&u| ids[u]));
+    let base = key.len();
+    push_undirected_edges(g, scratch, key, base);
+}
+
+/// Appends the induced undirected edges of the current ball as packed
+/// `(i << 32) | j` words, sorted; `base` is where the edge section of
+/// `key` starts.
+fn push_undirected_edges(
+    g: &impl Adjacency,
+    scratch: &NbhdScratch,
+    key: &mut Vec<u64>,
+    base: usize,
+) {
     for (i, &a) in scratch.ball.iter().enumerate() {
-        for &b in g.neighbors(a) {
+        g.for_each_neighbor(a, |b| {
             if scratch.stamp[b] == scratch.epoch {
                 let j = scratch.pos[b] as usize;
                 if i < j {
-                    edges.push((i as u32, j as u32));
+                    key.push(((i as u64) << 32) | j as u64);
                 }
             }
+        });
+    }
+    key[base..].sort_unstable();
+    // parity with the naive path's `dedup` (a no-op on simple graphs:
+    // each induced edge is recorded exactly once, from its lower end)
+    let mut w = base;
+    for i in base..key.len() {
+        if i == base || key[i] != key[w - 1] {
+            key[w] = key[i];
+            w += 1;
         }
     }
-    edges.sort_unstable();
-    IdNbhd { ids: scratch.ball.iter().map(|&u| ids[u]).collect(), root, edges }
+    key.truncate(w);
 }
 
-/// [`ordered_lnbhd_in`] with a reusable [`NbhdScratch`]: bit-identical
-/// output, `O(|ball| + |induced edges|)` per call.
-pub fn ordered_lnbhd_fast(
+/// Writes the packed key of the ordered L-digraph neighbourhood into
+/// `key`; `und` must be (an adjacency view of) the underlying undirected
+/// graph of `d`. `OrderedLNbhd::from_key(key)` recovers the struct.
+pub fn ordered_lkey_into(
     d: &LDigraph,
-    und: &Graph,
+    und: &impl Adjacency,
     rank: &[usize],
     v: NodeId,
     r: usize,
     scratch: &mut NbhdScratch,
-) -> OrderedLNbhd {
+    key: &mut Vec<u64>,
+) {
     scratch.fill_ball(und, v, r);
     scratch.ball.sort_by_key(|&u| rank[u]);
     scratch.index_ball();
-    let root = scratch.pos[v];
-    let mut edges = Vec::new();
+    key.clear();
+    key.push(((scratch.ball.len() as u64) << 32) | scratch.pos[v] as u64);
+    let mut edges = std::mem::take(&mut scratch.ledge_buf);
+    edges.clear();
     for &a in &scratch.ball {
         for e in d.out_edges(a) {
             if scratch.stamp[e.to] == scratch.epoch {
@@ -348,18 +486,72 @@ pub fn ordered_lnbhd_fast(
         }
     }
     edges.sort_unstable();
-    OrderedLNbhd { n: scratch.ball.len() as u32, root, edges }
+    for &(from, to, label) in &edges {
+        key.push(((from as u64) << 32) | to as u64);
+        key.push(label as u64);
+    }
+    scratch.ledge_buf = edges;
 }
 
-/// Fans per-vertex canonical-form extraction over `std::thread::scope`
-/// workers, each with its own [`NbhdScratch`]; falls back to one thread on
-/// small inputs. Output is in vertex order regardless of thread count.
-/// `name` tags the run in the observability registry (a `census/<name>`
-/// span plus vertex/worker metrics).
-fn per_vertex_types<T, F>(name: &str, n: usize, f: F) -> Vec<T>
+/// [`ordered_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
+/// `O(|ball| + |induced edges|)` per call. Runs on any [`Adjacency`]
+/// layout ([`Graph`] or [`CsrGraph`]).
+pub fn ordered_nbhd_fast(
+    g: &impl Adjacency,
+    rank: &[usize],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> OrderedNbhd {
+    let mut key = std::mem::take(&mut scratch.key_buf);
+    ordered_key_into(g, rank, v, r, scratch, &mut key);
+    let t = OrderedNbhd::from_key(&key);
+    scratch.key_buf = key;
+    t
+}
+
+/// [`id_nbhd`] with a reusable [`NbhdScratch`]: bit-identical output,
+/// `O(|ball| + |induced edges|)` per call.
+pub fn id_nbhd_fast(
+    g: &impl Adjacency,
+    ids: &[u64],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> IdNbhd {
+    let mut key = std::mem::take(&mut scratch.key_buf);
+    id_key_into(g, ids, v, r, scratch, &mut key);
+    let t = IdNbhd::from_key(&key);
+    scratch.key_buf = key;
+    t
+}
+
+/// [`ordered_lnbhd_in`] with a reusable [`NbhdScratch`]: bit-identical
+/// output, `O(|ball| + |induced edges|)` per call.
+pub fn ordered_lnbhd_fast(
+    d: &LDigraph,
+    und: &impl Adjacency,
+    rank: &[usize],
+    v: NodeId,
+    r: usize,
+    scratch: &mut NbhdScratch,
+) -> OrderedLNbhd {
+    let mut key = std::mem::take(&mut scratch.key_buf);
+    ordered_lkey_into(d, und, rank, v, r, scratch, &mut key);
+    let t = OrderedLNbhd::from_key(&key);
+    scratch.key_buf = key;
+    t
+}
+
+/// Fans per-vertex key extraction over `std::thread::scope` workers, each
+/// with its own [`NbhdScratch`] and worker-local [`KeyInterner`]; falls
+/// back to one thread on small inputs. Returns the content-merged global
+/// interner and the per-id occurrence counts (ids are in global first-seen
+/// order, every count positive). `name` tags the run in the observability
+/// registry (a `census/<name>` span plus vertex/worker metrics).
+fn per_vertex_keys<F>(name: &str, n: usize, f: F) -> (KeyInterner, Vec<usize>)
 where
-    T: Send,
-    F: Fn(&mut NbhdScratch, NodeId) -> T + Sync,
+    F: Fn(&mut NbhdScratch, NodeId, &mut Vec<u64>) + Sync,
 {
     const PARALLEL_MIN_NODES: usize = 1 << 10;
     /// Counter of vertices canonicalised across all census runs.
@@ -373,12 +565,24 @@ where
     if workers <= 1 || n < PARALLEL_MIN_NODES {
         worker_gauge.set(1);
         let mut scratch = NbhdScratch::new();
-        return (0..n).map(|v| f(&mut scratch, v)).collect();
+        let mut key = Vec::new();
+        let mut interner = KeyInterner::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for v in 0..n {
+            f(&mut scratch, v, &mut key);
+            let id = interner.intern(&key) as usize;
+            if id == counts.len() {
+                counts.push(0);
+            }
+            counts[id] += 1;
+        }
+        interner.publish_obs();
+        return (interner, counts);
     }
     worker_gauge.set(workers as i64);
     let chunk = n.div_ceil(workers);
     let parent_path = obs::current_span_path();
-    std::thread::scope(|scope| {
+    let parts = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let lo = w * chunk;
@@ -394,16 +598,62 @@ where
                         &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
                     );
                     let mut scratch = NbhdScratch::new();
-                    (lo..hi).map(|v| f(&mut scratch, v)).collect::<Vec<_>>()
+                    let mut key = Vec::new();
+                    let mut interner = KeyInterner::new();
+                    let mut counts: Vec<usize> = Vec::new();
+                    for v in lo..hi {
+                        f(&mut scratch, v, &mut key);
+                        let id = interner.intern(&key) as usize;
+                        if id == counts.len() {
+                            counts.push(0);
+                        }
+                        counts[id] += 1;
+                    }
+                    (interner, counts)
                 })
             })
             .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("census worker panicked"));
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("census worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    // content-merge the worker interners: re-intern each worker-local key
+    // into the global table and fold the counts
+    let mut global = KeyInterner::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for (mut local, local_counts) in parts {
+        for (lid, &c) in local_counts.iter().enumerate() {
+            let gid = global.intern(local.get(lid as u32)) as usize;
+            if gid == counts.len() {
+                counts.push(0);
+            }
+            counts[gid] += c;
         }
-        out
-    })
+        // fold worker-local hit/miss counts into the global totals, so the
+        // published numbers equal a sequential pass (lookups − distinct)
+        // regardless of worker count
+        global.absorb_pending(&mut local);
+    }
+    global.publish_obs();
+    (global, counts)
+}
+
+/// Decodes the interned census into `(type, count)` pairs, most frequent
+/// first (ties broken by the type's derived order) — the same ordering as
+/// [`sorted_census`] on the naive paths.
+fn census_from_keys<T: Ord, F: Fn(&[u64]) -> T>(
+    interner: &KeyInterner,
+    counts: &[usize],
+    decode: F,
+) -> Vec<(T, usize)> {
+    let mut out: Vec<(T, usize)> = counts
+        .iter()
+        .enumerate()
+        .map(|(id, &c)| (decode(interner.get(id as u32)), c))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
 }
 
 fn sorted_census<T: Ord + std::hash::Hash>(types: Vec<T>) -> Vec<(T, usize)> {
@@ -424,13 +674,17 @@ fn sorted_census<T: Ord + std::hash::Hash>(types: Vec<T>) -> Vec<(T, usize)> {
 /// (Definition 3.1): the graph is `(α, r)`-homogeneous with
 /// `α = max_count / n`.
 ///
-/// Engine-backed: per-vertex extraction runs through [`ordered_nbhd_fast`]
-/// on scoped worker threads. [`ordered_type_census_naive`] is the
-/// reference implementation.
+/// Engine-backed: the graph is flattened to a [`CsrGraph`] once, packed
+/// keys are extracted per vertex through [`ordered_key_into`] on scoped
+/// worker threads, and counting happens on interned ids — one struct
+/// decode per distinct type instead of per vertex.
+/// [`ordered_type_census_naive`] is the reference implementation.
 pub fn ordered_type_census(g: &Graph, rank: &[usize], r: usize) -> Vec<(OrderedNbhd, usize)> {
-    sorted_census(per_vertex_types("ordered", g.node_count(), |scratch, v| {
-        ordered_nbhd_fast(g, rank, v, r, scratch)
-    }))
+    let csr = CsrGraph::from_graph(g);
+    let (interner, counts) = per_vertex_keys("ordered", g.node_count(), |scratch, v, key| {
+        ordered_key_into(&csr, rank, v, r, scratch, key)
+    });
+    census_from_keys(&interner, &counts, OrderedNbhd::from_key)
 }
 
 /// The reference (sequential, allocation-per-call) implementation of
@@ -443,10 +697,11 @@ pub fn ordered_type_census_naive(g: &Graph, rank: &[usize], r: usize) -> Vec<(Or
 /// Engine-backed like its undirected counterpart;
 /// [`ordered_ltype_census_naive`] is the reference implementation.
 pub fn ordered_ltype_census(d: &LDigraph, rank: &[usize], r: usize) -> Vec<(OrderedLNbhd, usize)> {
-    let und = d.underlying_simple();
-    sorted_census(per_vertex_types("ordered_l", d.node_count(), |scratch, v| {
-        ordered_lnbhd_fast(d, &und, rank, v, r, scratch)
-    }))
+    let und = CsrGraph::from_graph(&d.underlying_simple());
+    let (interner, counts) = per_vertex_keys("ordered_l", d.node_count(), |scratch, v, key| {
+        ordered_lkey_into(d, &und, rank, v, r, scratch, key)
+    });
+    census_from_keys(&interner, &counts, OrderedLNbhd::from_key)
 }
 
 /// The reference implementation of [`ordered_ltype_census`]; kept as the
@@ -584,5 +839,63 @@ mod tests {
         assert_eq!(census.len(), 1);
         assert_eq!(census[0].1, 10);
         assert_eq!(census[0].0.n, 1);
+    }
+
+    #[test]
+    fn key_roundtrip_matches_naive_extractors() {
+        let g = gen::petersen();
+        let csr = CsrGraph::from_graph(&g);
+        let rank = identity_rank(10);
+        let ids: Vec<u64> = (0..10).map(|v| (v as u64) * 17 + 3).collect();
+        let mut scratch = NbhdScratch::new();
+        let mut key = Vec::new();
+        for r in 0..3 {
+            for v in g.nodes() {
+                ordered_key_into(&csr, &rank, v, r, &mut scratch, &mut key);
+                assert_eq!(OrderedNbhd::from_key(&key), ordered_nbhd(&g, &rank, v, r));
+                id_key_into(&csr, &ids, v, r, &mut scratch, &mut key);
+                assert_eq!(IdNbhd::from_key(&key), id_nbhd(&g, &ids, v, r));
+            }
+        }
+    }
+
+    #[test]
+    fn lkey_roundtrip_matches_naive_extractor() {
+        let d = gen::directed_cycle(9);
+        let und = d.underlying_simple();
+        let und_csr = CsrGraph::from_graph(&und);
+        let rank = identity_rank(9);
+        let mut scratch = NbhdScratch::new();
+        let mut key = Vec::new();
+        for r in 0..4 {
+            for v in 0..9 {
+                ordered_lkey_into(&d, &und_csr, &rank, v, r, &mut scratch, &mut key);
+                assert_eq!(OrderedLNbhd::from_key(&key), ordered_lnbhd_in(&d, &und, &rank, v, r));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_extractors_accept_both_layouts() {
+        let g = gen::hypercube(4);
+        let csr = g.to_csr();
+        let rank = identity_rank(16);
+        let mut s1 = NbhdScratch::new();
+        let mut s2 = NbhdScratch::new();
+        for v in [0usize, 5, 15] {
+            assert_eq!(
+                ordered_nbhd_fast(&g, &rank, v, 2, &mut s1),
+                ordered_nbhd_fast(&csr, &rank, v, 2, &mut s2),
+            );
+        }
+    }
+
+    #[test]
+    fn census_matches_naive_on_parallel_threshold_sizes() {
+        // 2^10 nodes crosses PARALLEL_MIN_NODES: the worker-merge path
+        // must agree with the sequential oracle exactly.
+        let g = gen::cycle(1 << 10);
+        let rank = identity_rank(1 << 10);
+        assert_eq!(ordered_type_census(&g, &rank, 1), ordered_type_census_naive(&g, &rank, 1));
     }
 }

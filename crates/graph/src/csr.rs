@@ -1,0 +1,183 @@
+//! Compressed-sparse-row adjacency and `u64`-bitset node sets — the flat
+//! hot-path representations behind the canonical-form extractors.
+//!
+//! [`Graph`] keeps one `Vec` per node (sorted, cheap to mutate while a
+//! graph is being built); the censuses and engines instead walk a
+//! [`CsrGraph`]: one `u32` offsets array and one `u32` targets array, so a
+//! whole neighbourhood scan is a contiguous slice read with half the
+//! memory traffic of `Vec<Vec<usize>>`. [`NodeBitset`] is the matching
+//! membership structure for Δ-bounded BFS balls: a `u64`-word bitset that
+//! remembers which words it touched, so clearing between balls is
+//! `O(|ball|)` rather than `O(n)`.
+
+use crate::{Graph, NodeId};
+
+/// Compressed-sparse-row view of a [`Graph`]: neighbour lists concatenated
+/// into one `u32` array, indexed by an offsets array. Construction is
+/// `O(n + m)`; the layout is immutable (rebuild after mutating the source
+/// graph).
+///
+/// ```
+/// use locap_graph::{gen, CsrGraph};
+/// let g = gen::cycle(5);
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.node_count(), 5);
+/// assert_eq!(csr.neighbors(0), &[1, 4]);
+/// assert_eq!(csr.degree(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists; length `2m`.
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Flattens `g` into CSR form, preserving the sorted neighbour order.
+    pub fn from_graph(g: &Graph) -> CsrGraph {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                targets.push(u as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The sorted neighbour list of `v` as a contiguous `u32` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+}
+
+/// A `u64`-word bitset over node ids with `O(touched)` clearing: the set
+/// records which words it wrote, so resetting between radius-`r` balls of
+/// a Δ-bounded graph costs `O(|ball|)`, not `O(n)`.
+///
+/// ```
+/// use locap_graph::NodeBitset;
+/// let mut s = NodeBitset::new(100);
+/// assert!(s.insert(7));
+/// assert!(!s.insert(7), "already present");
+/// assert!(s.contains(7) && !s.contains(8));
+/// s.clear();
+/// assert!(!s.contains(7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NodeBitset {
+    words: Vec<u64>,
+    /// Indices of words with at least one bit set since the last clear.
+    touched: Vec<u32>,
+}
+
+impl NodeBitset {
+    /// Creates an empty set over the universe `0..n`.
+    pub fn new(n: usize) -> NodeBitset {
+        NodeBitset { words: vec![0; n.div_ceil(64)], touched: Vec::new() }
+    }
+
+    /// Grows the universe to `0..n` (no-op when already large enough).
+    pub fn grow(&mut self, n: usize) {
+        let w = n.div_ceil(64);
+        if self.words.len() < w {
+            self.words.resize(w, 0);
+        }
+    }
+
+    /// Inserts `v`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let (w, bit) = (v / 64, 1u64 << (v % 64));
+        let word = &mut self.words[w];
+        if *word & bit != 0 {
+            return false;
+        }
+        if *word == 0 {
+            self.touched.push(w as u32);
+        }
+        *word |= bit;
+        true
+    }
+
+    /// Whether `v` is in the set (out-of-universe ids are absent).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.words.get(v / 64).is_some_and(|w| w & (1u64 << (v % 64)) != 0)
+    }
+
+    /// Empties the set by zeroing only the touched words.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn csr_matches_graph_adjacency() {
+        for g in [gen::cycle(9), gen::petersen(), gen::complete(5), Graph::new(4), Graph::new(0)] {
+            let csr = CsrGraph::from_graph(&g);
+            assert_eq!(csr.node_count(), g.node_count());
+            for v in g.nodes() {
+                let want: Vec<u32> = g.neighbors(v).iter().map(|&u| u as u32).collect();
+                assert_eq!(csr.neighbors(v), want.as_slice(), "node {v}");
+                assert_eq!(csr.degree(v), g.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_insert_contains_clear() {
+        let mut s = NodeBitset::new(200);
+        for v in [0, 63, 64, 127, 199] {
+            assert!(s.insert(v), "fresh insert of {v}");
+            assert!(!s.insert(v), "second insert of {v}");
+            assert!(s.contains(v));
+        }
+        assert!(!s.contains(1));
+        assert!(!s.contains(198));
+        s.clear();
+        for v in [0, 63, 64, 127, 199] {
+            assert!(!s.contains(v), "{v} cleared");
+        }
+        // reusable after clear
+        assert!(s.insert(64));
+        assert!(s.contains(64));
+    }
+
+    #[test]
+    fn bitset_grow_extends_universe() {
+        let mut s = NodeBitset::new(10);
+        s.grow(1000);
+        assert!(s.insert(999));
+        assert!(s.contains(999));
+        assert!(!s.contains(998));
+    }
+}

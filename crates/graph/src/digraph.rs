@@ -232,6 +232,85 @@ impl LDigraph {
             false
         }
     }
+
+    /// Flattens the adjacency into an [`LCsr`] for hot loops.
+    pub fn to_lcsr(&self) -> LCsr {
+        LCsr::from_digraph(self)
+    }
+}
+
+/// Flat dense adjacency tables of an [`LDigraph`]: one `u32` word per
+/// `(node, label)` pair for each direction, with [`LCsr::NONE`] marking an
+/// absent edge. The view-refinement sweep in `locap-lifts` reads these
+/// instead of the nested `Vec<Vec<Option<NodeId>>>` rows — one contiguous
+/// load per probe, no per-node indirection. The layout is immutable
+/// (rebuild after mutating the source digraph).
+///
+/// ```
+/// use locap_graph::{gen, LCsr};
+/// let d = gen::directed_cycle(5);
+/// let c = LCsr::from_digraph(&d);
+/// assert_eq!(c.out_raw(0, 0), 1);
+/// assert_eq!(c.in_raw(0, 0), 4);
+/// assert_eq!(c.out_raw(9, 0), LCsr::NONE, "out of range reads as absent");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LCsr {
+    labels: usize,
+    /// `out[v * labels + l]` = head of `v --l--> ·`, or [`LCsr::NONE`].
+    out: Vec<u32>,
+    /// `inn[v * labels + l]` = tail of `· --l--> v`, or [`LCsr::NONE`].
+    inn: Vec<u32>,
+}
+
+impl LCsr {
+    /// Sentinel meaning "no edge with this label".
+    pub const NONE: u32 = u32::MAX;
+
+    /// Flattens `d` into dense per-(node, label) tables.
+    pub fn from_digraph(d: &LDigraph) -> LCsr {
+        let (n, labels) = (d.node_count(), d.alphabet_size());
+        let pack = |rows: &[Vec<Option<NodeId>>]| {
+            let mut flat = Vec::with_capacity(n * labels);
+            for row in rows {
+                flat.extend(row.iter().map(|t| t.map_or(LCsr::NONE, |u| u as u32)));
+            }
+            flat
+        };
+        LCsr { labels, out: pack(&d.out), inn: pack(&d.inn) }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len().checked_div(self.labels).unwrap_or(0)
+    }
+
+    /// Size of the label alphabet `|L|`.
+    pub fn alphabet_size(&self) -> usize {
+        self.labels
+    }
+
+    /// The head of `v --label--> ·` as a raw `u32`, or [`LCsr::NONE`].
+    /// Out-of-range `v` or `label` reads as absent, mirroring
+    /// [`LDigraph::out_neighbor`].
+    #[inline]
+    pub fn out_raw(&self, v: NodeId, label: Label) -> u32 {
+        if label < self.labels {
+            self.out.get(v * self.labels + label).copied().unwrap_or(LCsr::NONE)
+        } else {
+            LCsr::NONE
+        }
+    }
+
+    /// The tail of `· --label--> v` as a raw `u32`, or [`LCsr::NONE`].
+    #[inline]
+    pub fn in_raw(&self, v: NodeId, label: Label) -> u32 {
+        if label < self.labels {
+            self.inn.get(v * self.labels + label).copied().unwrap_or(LCsr::NONE)
+        } else {
+            LCsr::NONE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +410,28 @@ mod tests {
         assert_eq!(map, vec![1, 2]);
         assert_eq!(h.edge_count(), 1);
         assert_eq!(h.out_neighbor(0, 1), Some(1));
+    }
+
+    #[test]
+    fn lcsr_matches_digraph_adjacency() {
+        let mut g = LDigraph::new(4, 3);
+        g.add_edge(0, 1, 0).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(2, 3, 0).unwrap();
+        g.add_edge(3, 0, 2).unwrap();
+        let c = g.to_lcsr();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.alphabet_size(), 3);
+        for v in 0..4 {
+            for l in 0..3 {
+                let want = |x: Option<NodeId>| x.map_or(LCsr::NONE, |u| u as u32);
+                assert_eq!(c.out_raw(v, l), want(g.out_neighbor(v, l)), "out {v} {l}");
+                assert_eq!(c.in_raw(v, l), want(g.in_neighbor(v, l)), "in {v} {l}");
+            }
+        }
+        // out-of-range probes read as absent, like the Option-based API
+        assert_eq!(c.out_raw(99, 0), LCsr::NONE);
+        assert_eq!(c.in_raw(0, 99), LCsr::NONE);
     }
 
     #[test]

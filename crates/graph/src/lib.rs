@@ -37,11 +37,13 @@
 mod ball;
 pub mod budget;
 pub mod canon;
+mod csr;
 mod digraph;
 mod dot;
 mod error;
 pub mod factor;
 pub mod gen;
+mod intern;
 mod order;
 mod ports;
 pub mod product;
@@ -49,9 +51,11 @@ pub mod random;
 mod simple;
 
 pub use budget::{Budgeted, ManualClock, MonotonicClock, RunBudget, StdClock, TruncationReason};
-pub use digraph::{DirEdge, LDigraph, Label};
+pub use csr::{CsrGraph, NodeBitset};
+pub use digraph::{DirEdge, LCsr, LDigraph, Label};
 pub use dot::{digraph_to_dot, graph_to_dot};
 pub use error::GraphError;
+pub use intern::KeyInterner;
 pub use order::OrderedGraph;
 pub use ports::{PoGraph, PortNumbering};
 pub use simple::{Edge, Graph, NodeId};

@@ -181,6 +181,12 @@ impl Graph {
         self.adj[v].binary_search(&u).ok()
     }
 
+    /// Flattens the adjacency into a [`crate::CsrGraph`] for hot loops
+    /// (one contiguous `u32` slice per neighbourhood scan).
+    pub fn to_csr(&self) -> crate::CsrGraph {
+        crate::CsrGraph::from_graph(self)
+    }
+
     /// The disjoint union of `self` and `other`; nodes of `other` are
     /// shifted by `self.node_count()`.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use locap_graph::budget::TruncationReason;
-use locap_graph::{LDigraph, NodeId};
+use locap_graph::{KeyInterner, LCsr, LDigraph, NodeId};
 use locap_obs as obs;
 
 use crate::{Letter, Word};
@@ -229,6 +229,10 @@ impl ViewCacheStats {
 /// ```
 pub struct ViewCache<'g> {
     d: &'g LDigraph,
+    /// Flat CSR-style adjacency of `d`: the refinement sweep reads
+    /// `out_raw`/`in_raw` sentinel arrays instead of chasing the nested
+    /// `Vec<Vec<Option<_>>>` lists.
+    lcsr: LCsr,
     /// States per vertex: 1 (no incoming letter) + 2|L| (each letter).
     width: usize,
     /// `levels[d][state]` = class of `state` at refinement depth `d`.
@@ -268,6 +272,7 @@ impl<'g> ViewCache<'g> {
         let states = d.node_count() * width;
         ViewCache {
             d,
+            lcsr: d.to_lcsr(),
             width,
             levels: Vec::new(),
             reps: Vec::new(),
@@ -425,20 +430,33 @@ impl<'g> ViewCache<'g> {
     /// in increasing order, so no sort is needed.
     fn signature(&self, state: usize, prev: &[u32], sig: &mut Vec<u64>) {
         sig.clear();
+        self.signature_append(state, prev, sig);
+    }
+
+    /// [`ViewCache::signature`] appending to `out` without clearing, so
+    /// the refinement sweep can pack all signatures of a level into one
+    /// flat buffer with no per-state allocation.
+    fn signature_append(&self, state: usize, prev: &[u32], out: &mut Vec<u64>) {
         let (v, code) = (state / self.width, state % self.width);
         for label in 0..self.d.alphabet_size() {
-            if let Some(u) = self.d.out_neighbor(v, label) {
+            let out_u = self.lcsr.out_raw(v, label);
+            if out_u != LCsr::NONE {
                 let enc = 2 * label;
                 // walking `letter` backtracks iff the state's incoming
                 // letter (code − 1) is `letter`'s inverse (enc ^ 1)
                 if code == 0 || code - 1 != enc ^ 1 {
-                    sig.push(((enc as u64) << 32) | prev[u * self.width + 1 + enc] as u64);
+                    out.push(
+                        ((enc as u64) << 32) | prev[out_u as usize * self.width + 1 + enc] as u64,
+                    );
                 }
             }
-            if let Some(u) = self.d.in_neighbor(v, label) {
+            let in_u = self.lcsr.in_raw(v, label);
+            if in_u != LCsr::NONE {
                 let enc = 2 * label + 1;
                 if code == 0 || code - 1 != enc ^ 1 {
-                    sig.push(((enc as u64) << 32) | prev[u * self.width + 1 + enc] as u64);
+                    out.push(
+                        ((enc as u64) << 32) | prev[in_u as usize * self.width + 1 + enc] as u64,
+                    );
                 }
             }
         }
@@ -459,18 +477,23 @@ impl<'g> ViewCache<'g> {
                 self.levels.push(vec![0; n_states]);
                 self.reps.push(if n_states == 0 { Vec::new() } else { vec![0] });
             } else {
-                let sigs = self.signatures_for_level(depth);
-                let mut map: HashMap<Vec<u64>, u32> = HashMap::new();
+                let (flat, lens) = self.signatures_for_level(depth);
+                // class = interned signature id: dense ids in first-seen
+                // order reproduce the historical HashMap numbering exactly
+                let mut interner = KeyInterner::new();
                 let mut classes = Vec::with_capacity(n_states);
                 let mut reps = Vec::new();
-                for (s, sig) in sigs.into_iter().enumerate() {
-                    let next = map.len() as u32;
-                    let id = *map.entry(sig).or_insert_with(|| {
+                let mut lo = 0usize;
+                for (s, &len) in lens.iter().enumerate() {
+                    let hi = lo + len as usize;
+                    let id = interner.intern(&flat[lo..hi]);
+                    if id as usize == reps.len() {
                         reps.push(s as u32);
-                        next
-                    });
+                    }
                     classes.push(id);
+                    lo = hi;
                 }
+                interner.publish_obs();
                 self.levels.push(classes);
                 self.reps.push(reps);
             }
@@ -485,22 +508,24 @@ impl<'g> ViewCache<'g> {
         }
     }
 
-    /// One refinement sweep: the per-state signatures at `depth`, fanned
+    /// One refinement sweep: all per-state signatures at `depth`, packed
+    /// into one flat buffer (`lens[s]` words belong to state `s`), fanned
     /// across `std::thread::scope` workers when the state space is large.
-    fn signatures_for_level(&mut self, depth: usize) -> Vec<Vec<u64>> {
+    fn signatures_for_level(&mut self, depth: usize) -> (Vec<u64>, Vec<u32>) {
         let n_states = self.d.node_count() * self.width;
         let prev = &self.levels[depth - 1];
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
         if workers <= 1 || n_states < PARALLEL_MIN_STATES {
             self.stats.workers = 1;
             self.obs_workers.set(1);
-            let mut sig = Vec::new();
-            return (0..n_states)
-                .map(|s| {
-                    self.signature(s, prev, &mut sig);
-                    sig.clone()
-                })
-                .collect();
+            let mut flat = Vec::new();
+            let mut lens = Vec::with_capacity(n_states);
+            for s in 0..n_states {
+                let before = flat.len();
+                self.signature_append(s, prev, &mut flat);
+                lens.push((flat.len() - before) as u32);
+            }
+            return (flat, lens);
         }
         self.stats.workers = workers;
         self.obs_workers.set(workers as i64);
@@ -521,21 +546,25 @@ impl<'g> ViewCache<'g> {
                             "worker",
                             &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
                         );
-                        let mut sig = Vec::new();
-                        (lo..hi)
-                            .map(|s| {
-                                this.signature(s, prev, &mut sig);
-                                sig.clone()
-                            })
-                            .collect::<Vec<_>>()
+                        let mut flat = Vec::new();
+                        let mut lens = Vec::with_capacity(hi - lo);
+                        for s in lo..hi {
+                            let before = flat.len();
+                            this.signature_append(s, prev, &mut flat);
+                            lens.push((flat.len() - before) as u32);
+                        }
+                        (flat, lens)
                     })
                 })
                 .collect();
-            let mut out = Vec::with_capacity(n_states);
+            let mut flat = Vec::new();
+            let mut lens = Vec::with_capacity(n_states);
             for h in handles {
-                out.extend(h.join().expect("signature worker panicked"));
+                let (wf, wl) = h.join().expect("signature worker panicked");
+                flat.extend_from_slice(&wf);
+                lens.extend_from_slice(&wl);
             }
-            out
+            (flat, lens)
         })
     }
 

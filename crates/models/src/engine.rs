@@ -18,8 +18,12 @@
 //!   algorithm is **evaluated once per class** and broadcast to the class
 //!   members.
 //! * [`OiEngine`] / [`IdEngine`] do the same for ordered/identifier
-//!   neighbourhoods via [`locap_graph::canon::NbhdScratch`] (`O(|ball|)`
-//!   extraction, no per-call allocation) plus type interning.
+//!   neighbourhoods: each vertex's canonical form is extracted as a packed
+//!   `u64` key ([`locap_graph::canon`]'s `*_key_into`, `O(|ball|)` with no
+//!   per-call allocation) over a flat [`CsrGraph`], interned into a
+//!   per-engine [`KeyInterner`], and memoized in a dense
+//!   `Vec<Option<_>>` indexed by intern id — type equality is id
+//!   equality, so the hot loop never hashes an owned struct.
 //!
 //! Everything is bit-identical to the naive paths in [`crate::run`]
 //! (asserted by the `engine_differential` test suite); [`EngineStats`]
@@ -29,13 +33,16 @@
 //! `engine/<model>/run_vertex|run_edge` span per call), so binaries and
 //! the bench gate can export unified metrics without threading state.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use locap_obs as obs;
 
 use locap_graph::budget::{Budgeted, RunBudget};
-use locap_graph::canon::{id_nbhd_fast, ordered_nbhd_fast, IdNbhd, NbhdScratch, OrderedNbhd};
-use locap_graph::{Edge, Graph, LDigraph, NodeId};
+use locap_graph::canon::{
+    id_key_into, id_nbhd_fast, ordered_key_into, ordered_nbhd_fast, IdNbhd, NbhdScratch,
+    OrderedNbhd,
+};
+use locap_graph::{CsrGraph, Edge, Graph, KeyInterner, LDigraph, NodeId};
 use locap_lifts::{ViewCache, ViewCacheStats, ViewTree};
 
 use crate::error::RunError;
@@ -316,12 +323,42 @@ impl<'g> ViewEngine<'g> {
     }
 }
 
-/// The OI-model engine: `O(|ball|)` neighbourhood extraction through a
-/// reusable scratch, with type interning so each distinct ordered type is
-/// evaluated once.
+/// Flat adjacency with every neighbour list stably re-sorted by `key`
+/// (`offsets[v]..offsets[v + 1]` spans `v`'s list in `nbrs`). Precomputed
+/// once per engine so edge runs stop cloning and sorting neighbour lists
+/// per vertex per run; the stable sort makes the order bit-identical to
+/// the historical per-call `to_vec` + `sort_by_key`.
+fn key_sorted_adj(g: &Graph, key: impl Fn(NodeId) -> u64) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(g.node_count() + 1);
+    let mut nbrs: Vec<u32> = Vec::with_capacity(2 * g.edge_count());
+    offsets.push(0u32);
+    let mut buf: Vec<NodeId> = Vec::new();
+    for v in g.nodes() {
+        buf.clear();
+        buf.extend_from_slice(g.neighbors(v));
+        buf.sort_by_key(|&u| key(u));
+        nbrs.extend(buf.iter().map(|&u| u as u32));
+        offsets.push(nbrs.len() as u32);
+    }
+    (offsets, nbrs)
+}
+
+/// The OI-model engine: `O(|ball|)` packed-key extraction over a flat
+/// [`CsrGraph`], with keys interned so each distinct ordered type is
+/// evaluated once and memo lookups are dense-id indexing.
 pub struct OiEngine<'g> {
     g: &'g Graph,
     rank: &'g [usize],
+    /// Flat adjacency mirror of `g` for the extraction hot loop.
+    csr: CsrGraph,
+    /// Rank-sorted adjacency (`sorted_offsets[v]..[v + 1]` spans `v`'s
+    /// neighbours in rank order); empty until `rank` covers the graph —
+    /// the run paths `validate()` before touching it.
+    sorted_offsets: Vec<u32>,
+    sorted_nbrs: Vec<u32>,
+    /// Canonical-form registry shared across runs: same type, same id.
+    interner: KeyInterner,
+    key_buf: Vec<u64>,
     scratch: NbhdScratch,
     run_stats: EngineStats,
     obs: EngineObs,
@@ -330,9 +367,21 @@ pub struct OiEngine<'g> {
 impl<'g> OiEngine<'g> {
     /// Creates an engine for `(g, rank)`.
     pub fn new(g: &'g Graph, rank: &'g [usize]) -> OiEngine<'g> {
+        let (sorted_offsets, sorted_nbrs) = if rank.len() == g.node_count() {
+            key_sorted_adj(g, |u| rank[u] as u64)
+        } else {
+            // invalid input: keep the engine constructible, let the run
+            // paths report InputLengthMismatch
+            (Vec::new(), Vec::new())
+        };
         OiEngine {
             g,
             rank,
+            csr: g.to_csr(),
+            sorted_offsets,
+            sorted_nbrs,
+            interner: KeyInterner::new(),
+            key_buf: Vec::new(),
             scratch: NbhdScratch::new(),
             run_stats: EngineStats::default(),
             obs: EngineObs::new("oi"),
@@ -385,7 +434,12 @@ impl<'g> OiEngine<'g> {
         self.validate()?;
         let _span = obs::span("engine/oi/run_vertex");
         let r = algo.radius();
-        let mut memo: HashMap<OrderedNbhd, bool> = HashMap::new();
+        // memo over intern ids; `seen` counts the distinct types of THIS
+        // run (the quantity the budget's cache cap bounds), since the
+        // interner itself persists across runs
+        let mut memo: Vec<Option<bool>> = Vec::new();
+        let mut seen = 0usize;
+        let mut key = std::mem::take(&mut self.key_buf);
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
@@ -394,32 +448,39 @@ impl<'g> OiEngine<'g> {
                 truncation = Some(t.publish());
                 break;
             }
-            let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
-            let bit = match memo.get(&t) {
-                Some(&b) => {
+            ordered_key_into(&self.csr, self.rank, v, r, &mut self.scratch, &mut key);
+            let id = self.interner.intern(&key) as usize;
+            if id >= memo.len() {
+                memo.resize(id + 1, None);
+            }
+            let bit = match memo[id] {
+                Some(b) => {
                     hits += 1;
                     b
                 }
                 None => {
-                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                    if let Some(tr) = budget.check_cache(seen + 1) {
                         truncation = Some(tr.publish());
                         break;
                     }
                     evals += 1;
-                    trace_miss("engine/oi/miss", v, memo.len() as i64);
-                    let b = algo.evaluate(&t);
-                    memo.insert(t, b);
+                    trace_miss("engine/oi/miss", v, seen as i64);
+                    let b = algo.evaluate(&OrderedNbhd::from_key(&key));
+                    memo[id] = Some(b);
+                    seen += 1;
                     b
                 }
             };
             out.push(bit);
         }
+        self.key_buf = key;
+        self.interner.publish_obs();
         self.run_stats.vertices += out.len();
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
-        self.run_stats.classes = memo.len();
-        self.obs.publish(out.len(), memo.len(), evals, hits);
-        trace_dedup("engine/oi/dedup", out.len(), memo.len(), evals, hits);
+        self.run_stats.classes = seen;
+        self.obs.publish(out.len(), seen, evals, hits);
+        trace_dedup("engine/oi/dedup", out.len(), seen, evals, hits);
         Ok(Budgeted { value: out, truncation })
     }
 
@@ -446,7 +507,9 @@ impl<'g> OiEngine<'g> {
         self.validate()?;
         let _span = obs::span("engine/oi/run_edge");
         let r = algo.radius();
-        let mut memo: HashMap<OrderedNbhd, Vec<bool>> = HashMap::new();
+        let mut memo: Vec<Option<Vec<bool>>> = Vec::new();
+        let mut seen = 0usize;
+        let mut key = std::mem::take(&mut self.key_buf);
         let mut out = BTreeSet::new();
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut truncation = None;
@@ -456,26 +519,29 @@ impl<'g> OiEngine<'g> {
                 truncation = Some(t.publish());
                 break;
             }
-            let t = ordered_nbhd_fast(self.g, self.rank, v, r, &mut self.scratch);
-            let bits = match memo.get(&t) {
-                Some(b) => {
-                    hits += 1;
-                    b.clone()
+            ordered_key_into(&self.csr, self.rank, v, r, &mut self.scratch, &mut key);
+            let id = self.interner.intern(&key) as usize;
+            if id >= memo.len() {
+                memo.resize(id + 1, None);
+            }
+            if memo[id].is_none() {
+                if let Some(tr) = budget.check_cache(seen + 1) {
+                    truncation = Some(tr.publish());
+                    break;
                 }
-                None => {
-                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
-                        truncation = Some(tr.publish());
-                        break;
-                    }
-                    evals += 1;
-                    trace_miss("engine/oi/miss", v, memo.len() as i64);
-                    let b = algo.evaluate(&t);
-                    memo.insert(t, b.clone());
-                    b
-                }
-            };
+                evals += 1;
+                trace_miss("engine/oi/miss", v, seen as i64);
+                memo[id] = Some(algo.evaluate(&OrderedNbhd::from_key(&key)));
+                seen += 1;
+            } else {
+                hits += 1;
+            }
             processed += 1;
+            let Some(bits) = memo[id].as_ref() else {
+                continue; // unreachable: just filled above
+            };
             if bits.len() != self.g.degree(v) {
+                self.key_buf = key;
                 return Err(RunError::OutputLengthMismatch {
                     node: v,
                     expected: self.g.degree(v),
@@ -483,20 +549,21 @@ impl<'g> OiEngine<'g> {
                 }
                 .publish());
             }
-            let mut nbrs = self.g.neighbors(v).to_vec();
-            nbrs.sort_by_key(|&u| self.rank[u]);
-            for (i, &u) in nbrs.iter().enumerate() {
+            let (lo, hi) = (self.sorted_offsets[v] as usize, self.sorted_offsets[v + 1] as usize);
+            for (i, &u) in self.sorted_nbrs[lo..hi].iter().enumerate() {
                 if bits[i] {
-                    out.insert(Edge::new(v, u));
+                    out.insert(Edge::new(v, u as NodeId));
                 }
             }
         }
+        self.key_buf = key;
+        self.interner.publish_obs();
         self.run_stats.vertices += processed;
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
-        self.run_stats.classes = memo.len();
-        self.obs.publish(processed, memo.len(), evals, hits);
-        trace_dedup("engine/oi/dedup", processed, memo.len(), evals, hits);
+        self.run_stats.classes = seen;
+        self.obs.publish(processed, seen, evals, hits);
+        trace_dedup("engine/oi/dedup", processed, seen, evals, hits);
         Ok(Budgeted { value: out, truncation })
     }
 }
@@ -509,6 +576,14 @@ impl<'g> OiEngine<'g> {
 pub struct IdEngine<'g> {
     g: &'g Graph,
     ids: &'g [u64],
+    /// Flat adjacency mirror of `g` for the extraction hot loop.
+    csr: CsrGraph,
+    /// Identifier-sorted adjacency; empty until `ids` covers the graph.
+    sorted_offsets: Vec<u32>,
+    sorted_nbrs: Vec<u32>,
+    /// Canonical-form registry shared across runs: same type, same id.
+    interner: KeyInterner,
+    key_buf: Vec<u64>,
     scratch: NbhdScratch,
     run_stats: EngineStats,
     obs: EngineObs,
@@ -517,9 +592,19 @@ pub struct IdEngine<'g> {
 impl<'g> IdEngine<'g> {
     /// Creates an engine for `(g, ids)`.
     pub fn new(g: &'g Graph, ids: &'g [u64]) -> IdEngine<'g> {
+        let (sorted_offsets, sorted_nbrs) = if ids.len() == g.node_count() {
+            key_sorted_adj(g, |u| ids[u])
+        } else {
+            (Vec::new(), Vec::new())
+        };
         IdEngine {
             g,
             ids,
+            csr: g.to_csr(),
+            sorted_offsets,
+            sorted_nbrs,
+            interner: KeyInterner::new(),
+            key_buf: Vec::new(),
             scratch: NbhdScratch::new(),
             run_stats: EngineStats::default(),
             obs: EngineObs::new("id"),
@@ -571,7 +656,9 @@ impl<'g> IdEngine<'g> {
         self.validate()?;
         let _span = obs::span("engine/id/run_vertex");
         let r = algo.radius();
-        let mut memo: HashMap<IdNbhd, bool> = HashMap::new();
+        let mut memo: Vec<Option<bool>> = Vec::new();
+        let mut seen = 0usize;
+        let mut key = std::mem::take(&mut self.key_buf);
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
@@ -580,32 +667,39 @@ impl<'g> IdEngine<'g> {
                 truncation = Some(t.publish());
                 break;
             }
-            let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
-            let bit = match memo.get(&t) {
-                Some(&b) => {
+            id_key_into(&self.csr, self.ids, v, r, &mut self.scratch, &mut key);
+            let id = self.interner.intern(&key) as usize;
+            if id >= memo.len() {
+                memo.resize(id + 1, None);
+            }
+            let bit = match memo[id] {
+                Some(b) => {
                     hits += 1;
                     b
                 }
                 None => {
-                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
+                    if let Some(tr) = budget.check_cache(seen + 1) {
                         truncation = Some(tr.publish());
                         break;
                     }
                     evals += 1;
-                    trace_miss("engine/id/miss", v, memo.len() as i64);
-                    let b = algo.evaluate(&t);
-                    memo.insert(t, b);
+                    trace_miss("engine/id/miss", v, seen as i64);
+                    let b = algo.evaluate(&IdNbhd::from_key(&key));
+                    memo[id] = Some(b);
+                    seen += 1;
                     b
                 }
             };
             out.push(bit);
         }
+        self.key_buf = key;
+        self.interner.publish_obs();
         self.run_stats.vertices += out.len();
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
-        self.run_stats.classes = memo.len();
-        self.obs.publish(out.len(), memo.len(), evals, hits);
-        trace_dedup("engine/id/dedup", out.len(), memo.len(), evals, hits);
+        self.run_stats.classes = seen;
+        self.obs.publish(out.len(), seen, evals, hits);
+        trace_dedup("engine/id/dedup", out.len(), seen, evals, hits);
         Ok(Budgeted { value: out, truncation })
     }
 
@@ -631,7 +725,9 @@ impl<'g> IdEngine<'g> {
         self.validate()?;
         let _span = obs::span("engine/id/run_edge");
         let r = algo.radius();
-        let mut memo: HashMap<IdNbhd, Vec<bool>> = HashMap::new();
+        let mut memo: Vec<Option<Vec<bool>>> = Vec::new();
+        let mut seen = 0usize;
+        let mut key = std::mem::take(&mut self.key_buf);
         let mut out = BTreeSet::new();
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut truncation = None;
@@ -641,26 +737,29 @@ impl<'g> IdEngine<'g> {
                 truncation = Some(t.publish());
                 break;
             }
-            let t = id_nbhd_fast(self.g, self.ids, v, r, &mut self.scratch);
-            let bits = match memo.get(&t) {
-                Some(b) => {
-                    hits += 1;
-                    b.clone()
+            id_key_into(&self.csr, self.ids, v, r, &mut self.scratch, &mut key);
+            let id = self.interner.intern(&key) as usize;
+            if id >= memo.len() {
+                memo.resize(id + 1, None);
+            }
+            if memo[id].is_none() {
+                if let Some(tr) = budget.check_cache(seen + 1) {
+                    truncation = Some(tr.publish());
+                    break;
                 }
-                None => {
-                    if let Some(tr) = budget.check_cache(memo.len() + 1) {
-                        truncation = Some(tr.publish());
-                        break;
-                    }
-                    evals += 1;
-                    trace_miss("engine/id/miss", v, memo.len() as i64);
-                    let b = algo.evaluate(&t);
-                    memo.insert(t, b.clone());
-                    b
-                }
-            };
+                evals += 1;
+                trace_miss("engine/id/miss", v, seen as i64);
+                memo[id] = Some(algo.evaluate(&IdNbhd::from_key(&key)));
+                seen += 1;
+            } else {
+                hits += 1;
+            }
             processed += 1;
+            let Some(bits) = memo[id].as_ref() else {
+                continue; // unreachable: just filled above
+            };
             if bits.len() != self.g.degree(v) {
+                self.key_buf = key;
                 return Err(RunError::OutputLengthMismatch {
                     node: v,
                     expected: self.g.degree(v),
@@ -668,20 +767,21 @@ impl<'g> IdEngine<'g> {
                 }
                 .publish());
             }
-            let mut nbrs = self.g.neighbors(v).to_vec();
-            nbrs.sort_by_key(|&u| self.ids[u]);
-            for (i, &u) in nbrs.iter().enumerate() {
+            let (lo, hi) = (self.sorted_offsets[v] as usize, self.sorted_offsets[v + 1] as usize);
+            for (i, &u) in self.sorted_nbrs[lo..hi].iter().enumerate() {
                 if bits[i] {
-                    out.insert(Edge::new(v, u));
+                    out.insert(Edge::new(v, u as NodeId));
                 }
             }
         }
+        self.key_buf = key;
+        self.interner.publish_obs();
         self.run_stats.vertices += processed;
         self.run_stats.evals += evals;
         self.run_stats.hits += hits;
-        self.run_stats.classes = memo.len();
-        self.obs.publish(processed, memo.len(), evals, hits);
-        trace_dedup("engine/id/dedup", processed, memo.len(), evals, hits);
+        self.run_stats.classes = seen;
+        self.obs.publish(processed, seen, evals, hits);
+        trace_dedup("engine/id/dedup", processed, seen, evals, hits);
         Ok(Budgeted { value: out, truncation })
     }
 }

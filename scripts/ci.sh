@@ -6,13 +6,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# On GitHub Actions, per-step timings also land in the job summary as a
+# markdown table, so gate-time regressions show up without log spelunking.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+        echo "### CI gate timings"
+        echo ""
+        echo "| step | seconds |"
+        echo "| --- | ---: |"
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+
 step() {
     local name=$1
     shift
     echo "==> $name"
     local t0=$SECONDS
     "$@"
-    echo "    [$name: $((SECONDS - t0))s]"
+    local dt=$((SECONDS - t0))
+    echo "    [$name: ${dt}s]"
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        echo "| $name | $dt |" >> "$GITHUB_STEP_SUMMARY"
+    fi
 }
 
 step "cargo fmt --check" cargo fmt --all -- --check
