@@ -1,0 +1,18 @@
+use locap_graph::gen;
+use locap_graph::canon::ordered_type_census;
+use locap_obs as obs;
+
+#[test]
+fn parallel_census_stats_match_sequential() {
+    let n = 1 << 12;
+    let g = gen::cycle(n);
+    let rank: Vec<usize> = (0..n).collect();
+    let census = ordered_type_census(&g, &rank, 1);
+    assert_eq!(census.len(), 3);
+    let snap = obs::snapshot();
+    let hits = snap.counters.get("intern/hits").copied().unwrap_or(0);
+    let misses = snap.counters.get("intern/misses").copied().unwrap_or(0);
+    // sequential pass: misses = 3 distinct types, hits = n - 3
+    assert_eq!(hits, (n - 3) as u64, "hits");
+    assert_eq!(misses, 3, "misses");
+}
