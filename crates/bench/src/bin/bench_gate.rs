@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate [check|record|counters] [--baseline PATH] [--tolerance X] [--out PATH]
 //!            [--with-bench SPEC]...
+//! bench_gate validate PATH...
 //! ```
 //!
 //! * `check` (default) — rerun every bench named in the baseline with
@@ -23,6 +24,10 @@
 //! (`locap-serve:serve_load`).
 //! * `counters` — print the deterministic counter snapshot and exit
 //!   (debug aid; also what the schema-2 baseline embeds).
+//! * `validate PATH...` — check that every non-empty line of each file
+//!   is a schema-valid `OBS_JSON` document (the shape `BENCH_views.json`
+//!   and the exporters share). Exit 0 when every line validates, 2
+//!   otherwise — this is how CI vets the soak smoke artifact.
 //!
 //! Environment: `BENCH_GATE_TOLERANCE` (default 1.25) and
 //! `BENCH_GATE_BASELINE` mirror the flags; `CRITERION_SHIM_SAMPLES=n`
@@ -50,6 +55,7 @@ struct Config {
     out_path: Option<String>,
     tolerance: f64,
     with_benches: Vec<String>,
+    validate_paths: Vec<String>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -62,10 +68,15 @@ fn parse_args() -> Result<Config, String> {
         Err(_) => 1.25,
     };
     let mut with_benches = Vec::new();
+    let mut validate_paths = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if mode == "validate" {
+            validate_paths.push(a);
+            continue;
+        }
         match a.as_str() {
-            "check" | "record" | "counters" => mode = a,
+            "check" | "record" | "counters" | "validate" => mode = a,
             "--baseline" => baseline_path = args.next().ok_or("--baseline needs a path")?,
             "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
             "--tolerance" => {
@@ -84,7 +95,10 @@ fn parse_args() -> Result<Config, String> {
     if !with_benches.is_empty() && mode != "record" {
         return Err("--with-bench only applies to record mode".to_string());
     }
-    Ok(Config { mode, baseline_path, out_path, tolerance, with_benches })
+    if mode == "validate" && validate_paths.is_empty() {
+        return Err("validate needs at least one file path".to_string());
+    }
+    Ok(Config { mode, baseline_path, out_path, tolerance, with_benches, validate_paths })
 }
 
 fn run() -> i32 {
@@ -103,7 +117,60 @@ fn run() -> i32 {
             0
         }
         "record" => record(&cfg),
+        "validate" => validate(&cfg.validate_paths),
         _ => check(&cfg),
+    }
+}
+
+/// Checks that each file is schema-valid `OBS_JSON`: either one
+/// (possibly pretty-printed) JSON document, or — the exporters' and the
+/// soak artifact's shape — one JSON document per line. Every document
+/// must pass [`locap_obs::validate_bench_schema`].
+fn validate(paths: &[String]) -> i32 {
+    let mut docs_ok = 0usize;
+    let mut failures = 0usize;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: reading {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        // a whole-file document first (BENCH_views.json is pretty-printed)
+        if let Ok(doc) = locap_obs::json::Json::parse(&text) {
+            match locap_obs::validate_bench_schema(&doc) {
+                Ok(()) => docs_ok += 1,
+                Err(e) => {
+                    eprintln!("bench_gate: {path}: {e}");
+                    failures += 1;
+                }
+            }
+            continue;
+        }
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let verdict = locap_obs::json::Json::parse(line)
+                .map_err(|e| format!("not JSON: {e:?}"))
+                .and_then(|doc| locap_obs::validate_bench_schema(&doc));
+            match verdict {
+                Ok(()) => docs_ok += 1,
+                Err(e) => {
+                    eprintln!("bench_gate: {path}:{}: {e}", i + 1);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: validate FAILED ({failures} bad documents/files, {docs_ok} ok)");
+        2
+    } else {
+        println!("bench gate: validate OK ({docs_ok} schema-valid documents)");
+        0
     }
 }
 

@@ -1,7 +1,7 @@
 //! CLI for inspecting traces written with `OBS_TRACE=<path>`.
 //!
 //! ```text
-//! trace_report <trace.json>           attribution tree + per-round table
+//! trace_report <trace.json>           attribution tree + per-round/per-request tables
 //! trace_report diff <a.json> <b.json> per-path total deltas (B vs A)
 //! ```
 //!

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod soak;
 pub mod trace_report;
 
 use locap_obs as obs;

@@ -9,6 +9,10 @@
 //! * a **per-round table** — spans carrying a `round` argument (the
 //!   simulator rounds and the view-refinement levels) grouped by round
 //!   number with their other numeric arguments summed;
+//! * a **per-request table** — spans carrying a `req` argument (the
+//!   monotonic request ids `locapd` threads into its `serve/request`
+//!   spans) grouped by request id, attributing daemon time to
+//!   individual requests;
 //! * a **diff** of two traces — per-path total deltas, for before/after
 //!   comparisons of the same workload.
 
@@ -159,12 +163,12 @@ pub fn aggregate(trace: &Trace) -> BTreeMap<String, PathStats> {
     stats
 }
 
-/// One row of the per-round cost table.
+/// One row of a grouped-by-argument cost table (`round`, `req`, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundRow {
-    /// The `round` argument value.
+    /// The grouping argument's value (a round number, a request id, …).
     pub round: i64,
-    /// Number of round-tagged spans.
+    /// Number of tagged spans.
     pub count: u64,
     /// Summed duration of those spans.
     pub total_ns: u64,
@@ -172,13 +176,13 @@ pub struct RoundRow {
     pub args: BTreeMap<String, i64>,
 }
 
-/// Groups spans carrying a `round` argument by round number.
-pub fn per_round(trace: &Trace) -> Vec<RoundRow> {
+/// Groups spans carrying the named argument by its value.
+pub fn per_arg(trace: &Trace, key: &str) -> Vec<RoundRow> {
     let mut rows: BTreeMap<i64, RoundRow> = BTreeMap::new();
     for s in &trace.spans {
-        let Some(&(_, round)) = s.args.iter().find(|(k, _)| k == "round") else { continue };
-        let row = rows.entry(round).or_insert(RoundRow {
-            round,
+        let Some(&(_, value)) = s.args.iter().find(|(k, _)| k == key) else { continue };
+        let row = rows.entry(value).or_insert(RoundRow {
+            round: value,
             count: 0,
             total_ns: 0,
             args: BTreeMap::new(),
@@ -186,12 +190,23 @@ pub fn per_round(trace: &Trace) -> Vec<RoundRow> {
         row.count += 1;
         row.total_ns += s.dur_ns;
         for (k, v) in &s.args {
-            if k != "round" {
+            if k != key {
                 *row.args.entry(k.clone()).or_insert(0) += v;
             }
         }
     }
     rows.into_values().collect()
+}
+
+/// Groups spans carrying a `round` argument by round number.
+pub fn per_round(trace: &Trace) -> Vec<RoundRow> {
+    per_arg(trace, "round")
+}
+
+/// Groups spans carrying a `req` argument (the request ids `locapd`
+/// attaches to its `serve/request` spans) by request id.
+pub fn per_request(trace: &Trace) -> Vec<RoundRow> {
+    per_arg(trace, "req")
 }
 
 fn fmt_ms(ns: u64) -> String {
@@ -251,8 +266,17 @@ pub fn render_tree(stats: &BTreeMap<String, PathStats>) -> String {
 
 /// Renders the per-round cost table.
 pub fn render_rounds(rows: &[RoundRow]) -> String {
+    render_arg_table(rows, "round")
+}
+
+/// Renders the per-request cost table.
+pub fn render_requests(rows: &[RoundRow]) -> String {
+    render_arg_table(rows, "req")
+}
+
+fn render_arg_table(rows: &[RoundRow], key: &str) -> String {
     if rows.is_empty() {
-        return "(no round-tagged spans)\n".to_string();
+        return format!("(no {key}-tagged spans)\n");
     }
     let mut arg_keys: Vec<String> = Vec::new();
     for r in rows {
@@ -264,7 +288,7 @@ pub fn render_rounds(rows: &[RoundRow]) -> String {
     }
     arg_keys.sort();
     let mut header: Vec<String> =
-        ["round", "spans", "total_ms"].iter().map(|s| s.to_string()).collect();
+        [key, "spans", "total_ms"].iter().map(|s| s.to_string()).collect();
     header.extend(arg_keys.iter().cloned());
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -327,6 +351,8 @@ pub fn render_report(trace: &Trace) -> String {
     out.push_str(&render_tree(&stats));
     out.push_str("\n== per-round costs ==\n");
     out.push_str(&render_rounds(&per_round(trace)));
+    out.push_str("\n== per-request costs ==\n");
+    out.push_str(&render_requests(&per_request(trace)));
     out
 }
 
@@ -405,6 +431,29 @@ mod tests {
         let rendered = render_rounds(&rows);
         assert!(rendered.contains("messages"), "{rendered}");
         assert!(rendered.contains("0.200"), "{rendered}");
+    }
+
+    #[test]
+    fn per_request_groups_by_req_id() {
+        let text = doc(&[
+            ev("serve/request", 1, 0.0, 300.0, &[("req", 1)]),
+            ev("serve/request", 2, 100.0, 500.0, &[("req", 2)]),
+            ev("serve/request", 1, 700.0, 200.0, &[("req", 1)]),
+            ev("sim/round", 1, 900.0, 50.0, &[("round", 0)]),
+        ]);
+        let rows = per_request(&parse(&text).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].round, 1);
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_ns, 500_000);
+        assert_eq!(rows[1].round, 2);
+        let rendered = render_requests(&rows);
+        assert!(rendered.starts_with("req"), "{rendered}");
+        // round-tagged spans stay out of the request table and the
+        // report renders both sections
+        let report = render_report(&parse(&text).unwrap());
+        assert!(report.contains("== per-request costs =="), "{report}");
+        assert!(report.contains("== per-round costs =="), "{report}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
-use locap_graph::gen;
 use locap_graph::canon::ordered_type_census;
+use locap_graph::gen;
 use locap_obs as obs;
 
 #[test]

@@ -196,7 +196,7 @@ fn collect_metric_sites(
     let n = f.sig.len();
     for i in 0..n {
         if f.sig_kind(i) != TokenKind::Ident
-            || !matches!(f.sig_text(i), "counter" | "gauge" | "span_histogram")
+            || !matches!(f.sig_text(i), "counter" | "gauge" | "span_histogram" | "latency")
         {
             continue;
         }

@@ -142,6 +142,45 @@ pub fn f(i: u32) {
 }
 
 #[test]
+fn l3_covers_latency_and_the_telemetry_families() {
+    // the serve telemetry surface rides the same discipline: lifecycle
+    // counters are consts, the per-request phase latency family is one
+    // format! template
+    let clean = r#"
+const DROPPED: &str = "telemetry/dropped";
+pub fn f(pipeline: &str, phase: &str, ns: u64) {
+    obs::counter(DROPPED).inc();
+    obs::latency(&format!("serve/request/{pipeline}/{phase}")).record_ns(ns);
+}
+"#;
+    assert!(lint_one("crates/serve/src/fixture.rs", clean).is_empty());
+
+    // an inline latency name is as much a violation as an inline counter
+    let bad = r#"
+pub fn f(ns: u64) {
+    obs::latency("serve/request/census/run").record_ns(ns);
+}
+"#;
+    let diags = lint_one("crates/serve/src/fixture.rs", bad);
+    assert_only("L3", &diags);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+
+    // two files claiming the same format! family collide like consts do
+    let a = r#"pub fn f(p: &str) { obs::latency(&format!("serve/request/{p}")).record_ns(1); }"#;
+    let b = r#"pub fn g(p: &str) { obs::latency(&format!("serve/request/{p}")).record_ns(1); }"#;
+    let diags = analyze_files(
+        &[
+            ("crates/serve/src/a.rs".to_string(), a.to_string()),
+            ("crates/serve/src/b.rs".to_string(), b.to_string()),
+        ],
+        &Config::locap(),
+    );
+    assert_only("L3", &diags);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].file, "crates/serve/src/b.rs", "the second site is the violation");
+}
+
+#[test]
 fn l4_fires_on_crate_roots_without_forbid() {
     let bad = "//! A crate.\n\npub fn f() {}\n";
     assert_only("L4", &lint_one("crates/fixture/src/lib.rs", bad));

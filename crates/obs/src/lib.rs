@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod telemetry;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -182,6 +183,192 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
+
+    /// The nearest-rank `q`-quantile (`0.0 ..= 1.0`) at bucket resolution.
+    ///
+    /// Returns the inclusive upper bound of the bucket holding the rank-
+    /// `⌈q·count⌉` observation, clamped into `[min, max]`. The result is
+    /// *exact with respect to the bucketed data*: it equals what a sorted
+    /// vector of the observations would yield after mapping each value to
+    /// its bucket's upper bound. The bucket-boundary error is the log₂
+    /// bucket width — the reported quantile `r` satisfies `v ≤ r < 2·v`
+    /// for the true rank value `v` (and is exact for 0, min and max).
+    /// Returns 0 on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self.bucket_counts();
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        quantile_from_buckets(&counts, count, q, bucket_upper_bound).clamp(min, max)
+    }
+}
+
+/// The 1-based nearest rank of quantile `q` among `count` observations:
+/// `⌈q·count⌉` clamped to `1..=count` (0 when `count` is 0).
+pub fn quantile_rank(count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let r = (q * count as f64).ceil() as u64;
+    r.clamp(1, count)
+}
+
+/// Walks bucket counts to the nearest-rank `q`-quantile and returns that
+/// bucket's inclusive upper bound via `upper`. Callers clamp into
+/// `[min, max]` so single observations and extremes stay exact.
+pub fn quantile_from_buckets(
+    counts: &[u64],
+    count: u64,
+    q: f64,
+    upper: impl Fn(usize) -> u64,
+) -> u64 {
+    let rank = quantile_rank(count, q);
+    if rank == 0 {
+        return 0;
+    }
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return upper(i);
+        }
+    }
+    upper(counts.len().saturating_sub(1))
+}
+
+/// Sub-bucket resolution of [`FineHistogram`]: each power-of-two octave is
+/// split into `2^FINE_SUB_BITS` equal-width sub-buckets.
+pub const FINE_SUB_BITS: usize = 4;
+
+/// Sub-buckets per octave in a [`FineHistogram`].
+pub const FINE_SUBS: usize = 1 << FINE_SUB_BITS;
+
+/// Total bucket count of a [`FineHistogram`]: values `0..FINE_SUBS` get an
+/// exact bucket each, then 16 sub-buckets per octave up to `u64::MAX`.
+pub const FINE_BUCKETS: usize = (64 - FINE_SUB_BITS + 1) * FINE_SUBS;
+
+/// The [`FineHistogram`] bucket a value lands in.
+///
+/// Values below [`FINE_SUBS`] map to their own bucket (exact). Larger
+/// values keep their top `FINE_SUB_BITS + 1` significant bits: with
+/// `e = ⌊log₂ v⌋` the bucket is `(e − FINE_SUB_BITS + 1)·FINE_SUBS +
+/// ((v >> (e − FINE_SUB_BITS)) − FINE_SUBS)`.
+pub fn fine_bucket_index(value_ns: u64) -> usize {
+    if value_ns < FINE_SUBS as u64 {
+        return value_ns as usize;
+    }
+    let e = 63 - value_ns.leading_zeros() as usize;
+    let sub = ((value_ns >> (e - FINE_SUB_BITS)) as usize) - FINE_SUBS;
+    (e - FINE_SUB_BITS + 1) * FINE_SUBS + sub
+}
+
+/// The inclusive upper bound of a [`FineHistogram`] bucket.
+pub fn fine_bucket_upper_bound(index: usize) -> u64 {
+    if index < FINE_SUBS {
+        return index as u64;
+    }
+    let octave = index / FINE_SUBS;
+    let sub = index % FINE_SUBS;
+    let e = octave + FINE_SUB_BITS - 1;
+    let hi = (FINE_SUBS + sub + 1) as u128;
+    let bound = (hi << (e - FINE_SUB_BITS)) - 1;
+    bound.min(u64::MAX as u128) as u64
+}
+
+/// A sub-bucketed latency histogram for request timing: 16 sub-buckets per
+/// power-of-two octave, so the relative bucket-boundary error is at most
+/// `1/16` (6.25%), versus up to 2× for the log₂ [`Histogram`]. Values below
+/// 16 ns are exact. Used for the `serve/request/*` phase latencies and the
+/// soak harness.
+#[derive(Debug)]
+pub struct FineHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for FineHistogram {
+    fn default() -> FineHistogram {
+        FineHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..FINE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl FineHistogram {
+    /// Records one observation.
+    pub fn record(&self, value_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value_ns, Ordering::Relaxed);
+        self.min.fetch_min(value_ns, Ordering::Relaxed);
+        self.max.fetch_max(value_ns, Ordering::Relaxed);
+        if let Some(b) = self.buckets.get(fine_bucket_index(value_ns)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Raw bucket counts (index by [`fine_bucket_index`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The nearest-rank `q`-quantile at fine-bucket resolution: the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation,
+    /// clamped into `[min, max]`. The reported value overshoots the true
+    /// rank value by at most `1/16` of it (exact below 16 ns and at the
+    /// extremes). Returns 0 on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        let counts = self.bucket_counts();
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        quantile_from_buckets(&counts, count, q, fine_bucket_upper_bound).clamp(min, max)
+    }
+
+    /// A point-in-time copy of the aggregate statistics (p50 at fine
+    /// resolution).
+    pub fn snapshot(&self) -> HistStats {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        HistStats {
+            count,
+            total_ns: self.sum.load(Ordering::Relaxed),
+            min_ns: min,
+            max_ns: max,
+            p50_ns: self.quantile_ns(0.5),
+        }
+    }
+}
+
+/// A fine-grained latency histogram handle; cloning shares the histogram.
+#[derive(Debug, Clone)]
+pub struct Latency(Arc<FineHistogram>);
+
+impl Latency {
+    /// Records one latency observation in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.0.record(ns);
+    }
+
+    /// The shared underlying histogram.
+    pub fn histogram(&self) -> &FineHistogram {
+        &self.0
+    }
 }
 
 /// Aggregate statistics of one histogram / span.
@@ -206,6 +393,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     spans: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    latencies: Mutex<BTreeMap<String, Arc<FineHistogram>>>,
 }
 
 impl Registry {
@@ -253,6 +441,21 @@ impl Registry {
         }
     }
 
+    /// The fine-grained latency histogram named `name`, created on first
+    /// use. Latencies live in their own section (exported by the
+    /// [`telemetry`] module), separate from the span histograms.
+    pub fn latency(&self, name: &str) -> Latency {
+        let mut map = self.latencies.lock().expect("obs latency lock");
+        match map.get(name) {
+            Some(h) => Latency(Arc::clone(h)),
+            None => {
+                let h = Arc::new(FineHistogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                Latency(h)
+            }
+        }
+    }
+
     /// Records a duration under a span name without an RAII guard.
     pub fn record_span_ns(&self, name: &str, ns: u64) {
         self.span_histogram(name).record(ns);
@@ -290,6 +493,7 @@ impl Registry {
         self.counters.lock().expect("obs counter lock").clear();
         self.gauges.lock().expect("obs gauge lock").clear();
         self.spans.lock().expect("obs span lock").clear();
+        self.latencies.lock().expect("obs latency lock").clear();
     }
 }
 
@@ -311,6 +515,11 @@ pub fn counter(name: &str) -> Counter {
 /// The global gauge named `name`.
 pub fn gauge(name: &str) -> Gauge {
     global().gauge(name)
+}
+
+/// The global fine-grained latency histogram named `name`.
+pub fn latency(name: &str) -> Latency {
+    global().latency(name)
 }
 
 /// Records `ns` under the global span `name` without a guard.

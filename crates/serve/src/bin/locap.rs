@@ -5,6 +5,7 @@
 //!                  [--cache-cap N] [--out PATH]
 //! locap pipelines
 //! locap replay <script.jsonl> --addr HOST:PORT [--expect-ok]
+//! locap watch --addr HOST:PORT [--frames N] [--tsv] [--filter PREFIX]
 //! ```
 //!
 //! Pipeline subcommands print the result as deterministic `key: value`
@@ -13,7 +14,8 @@
 //! a JSON artifact plus its `*.provenance.json` sidecar. `replay` is a
 //! thin client for a running `locapd`: it sends a recorded
 //! newline-delimited request script and prints one response line per
-//! request.
+//! request. `watch` subscribes to a daemon's live telemetry stream and
+//! renders each frame as a human table (or TSV rows with `--tsv`).
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +49,7 @@ fn usage() -> String {
         "usage: locap <pipeline> [--<param> <value>]... [--deadline-ms N] [--max-rounds N] [--cache-cap N] [--out PATH]\n\
          \x20      locap pipelines\n\
          \x20      locap replay <script.jsonl> --addr HOST:PORT [--expect-ok]\n\
+         \x20      locap watch --addr HOST:PORT [--frames N] [--tsv] [--filter PREFIX]\n\
          pipelines: {}",
         PIPELINES.join(", ")
     )
@@ -65,6 +68,7 @@ fn cli(args: &[String]) -> Result<i32, String> {
             Ok(0)
         }
         "replay" => replay(rest),
+        "watch" => watch(rest),
         name if PIPELINES.contains(&name) => run_pipeline(name, rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -158,6 +162,40 @@ fn print_result(result: &Json) {
         }
         other => hprintln!("{other}"),
     }
+}
+
+fn watch(args: &[String]) -> Result<i32, String> {
+    let mut opts = locap_serve::watch::WatchOptions {
+        addr: String::new(),
+        frames: None,
+        tsv: false,
+        filter: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--tsv" {
+            opts.tsv = true;
+            continue;
+        }
+        let mut value = || it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = value()?,
+            "--frames" => {
+                let n = value()?
+                    .parse::<u64>()
+                    .map_err(|_| "--frames expects a non-negative integer".to_string())?;
+                opts.frames = Some(n);
+            }
+            "--filter" => opts.filter = Some(value()?),
+            other => return Err(format!("unexpected watch flag {other:?}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("watch needs --addr HOST:PORT".into());
+    }
+    let mut stdout = std::io::stdout().lock();
+    locap_serve::watch::run(&opts, &mut stdout).map_err(|e| format!("watch: {e}"))?;
+    Ok(0)
 }
 
 fn replay(args: &[String]) -> Result<i32, String> {

@@ -4,6 +4,7 @@
 //! locapd [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!        [--max-frame-bytes N] [--artifact-dir DIR]
 //!        [--default-deadline-ms N] [--max-deadline-ms N] [--no-shutdown]
+//!        [--telemetry-interval-ms N] [--telemetry-queue N]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7878`; `:0` picks an
@@ -11,6 +12,9 @@
 //! and serves newline-delimited JSON requests until a `shutdown` op
 //! arrives. With `--artifact-dir` every successful pipeline result is
 //! written there as `<pipeline>-<id>.json` plus a provenance sidecar.
+//! `subscribe` connections receive delta-encoded telemetry frames every
+//! `--telemetry-interval-ms` (0 disables streaming); slow subscribers
+//! buffer up to `--telemetry-queue` frames before frames are shed.
 
 #![forbid(unsafe_code)]
 
@@ -28,7 +32,8 @@ fn main() {
             eprintln!(
                 "usage: locapd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--max-frame-bytes N] [--artifact-dir DIR] [--default-deadline-ms N] \
-                 [--max-deadline-ms N] [--no-shutdown]"
+                 [--max-deadline-ms N] [--no-shutdown] [--telemetry-interval-ms N] \
+                 [--telemetry-queue N]"
             );
             std::process::exit(2);
         }
@@ -68,6 +73,13 @@ fn cli(args: &[String]) -> Result<i32, String> {
             "--max-deadline-ms" => {
                 let ms = parse_usize("max-deadline-ms", value()?)? as u64;
                 config.max_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--telemetry-interval-ms" => {
+                let ms = parse_usize("telemetry-interval-ms", value()?)? as u64;
+                config.telemetry_interval = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--telemetry-queue" => {
+                config.telemetry_queue = parse_usize("telemetry-queue", value()?)?.max(1);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

@@ -36,7 +36,7 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -45,11 +45,13 @@ use locap_core::request::PipelineRequest;
 use locap_graph::budget::{CancelToken, MonotonicClock, StdClock};
 use locap_obs as obs;
 use locap_obs::json::Json;
+use locap_obs::telemetry::TelemetryState;
 
 use crate::protocol::{
     core_error_kind, err_response, ok_response, parse_request, BudgetSpec, Frame, FrameError,
     FrameReader, ProtocolError, Request, DEFAULT_MAX_FRAME_BYTES,
 };
+use crate::telemetry::TelemetryHub;
 /// Counter: frames parsed into well-formed requests.
 pub const REQUESTS: &str = "serve/requests";
 /// Counter: successful (`"ok": true`) responses written.
@@ -68,6 +70,20 @@ pub const SIDECARS: &str = "serve/provenance_sidecars";
 /// Gauge: high-water mark of jobs queued or executing (current depth is
 /// in the `stats` op response).
 pub const QUEUE_DEPTH: &str = "serve/queue_depth";
+
+/// Span wrapping every pipeline run on a worker, carrying the request's
+/// monotonically-assigned id as a `req` arg in OBS_TRACE exports (so
+/// `trace_report` can attribute daemon traces per request).
+pub const REQUEST_SPAN: &str = "serve/request";
+
+/// Phase name: enqueue → worker pickup.
+pub const PHASE_QUEUE_WAIT: &str = "queue_wait";
+/// Phase name: frame bytes → parsed request.
+pub const PHASE_PARSE: &str = "parse";
+/// Phase name: pipeline execution on a worker.
+pub const PHASE_RUN: &str = "run";
+/// Phase name: response build + write (including sidecars).
+pub const PHASE_SERIALIZE: &str = "serialize";
 
 /// How often blocked reads and the accept loop re-check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -95,6 +111,12 @@ pub struct DaemonConfig {
     pub artifact_dir: Option<PathBuf>,
     /// Whether the `shutdown` op is honoured.
     pub allow_shutdown: bool,
+    /// Telemetry publisher interval; `None` disables the `subscribe` op
+    /// (answered with `protocol/telemetry_disabled`).
+    pub telemetry_interval: Option<Duration>,
+    /// Per-subscriber telemetry frame-queue depth (slow consumers shed
+    /// frames beyond it and resync via a snapshot).
+    pub telemetry_queue: usize,
 }
 
 impl Default for DaemonConfig {
@@ -107,6 +129,8 @@ impl Default for DaemonConfig {
             max_deadline: Some(Duration::from_secs(300)),
             artifact_dir: None,
             allow_shutdown: true,
+            telemetry_interval: Some(crate::telemetry::DEFAULT_INTERVAL),
+            telemetry_queue: crate::telemetry::DEFAULT_QUEUE,
         }
     }
 }
@@ -143,7 +167,7 @@ pub struct Daemon {
     drain: CancelToken,
 }
 
-fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // a poisoned lock means a peer thread panicked; the guarded state
     // (a socket, a channel receiver) is still structurally sound
     match m.lock() {
@@ -155,10 +179,15 @@ fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// One queued pipeline job.
 struct Job {
     id: Json,
+    /// Monotonically-assigned daemon-wide request id, threaded into the
+    /// worker's `serve/request` OBS_TRACE span as a `req` arg.
+    req_id: u64,
     request: PipelineRequest,
     budget: BudgetSpec,
     writer: Arc<Mutex<TcpStream>>,
     cancel: CancelToken,
+    /// Shared-clock reading at enqueue, for the queue-wait phase.
+    enqueued_at: Duration,
 }
 
 /// State shared by connection reader threads.
@@ -168,6 +197,9 @@ struct ConnShared {
     drain: CancelToken,
     depth: Arc<AtomicI64>,
     config: DaemonConfig,
+    clock: Arc<dyn MonotonicClock>,
+    hub: Option<Arc<TelemetryHub>>,
+    next_req_id: Arc<AtomicU64>,
 }
 
 /// State shared by worker threads.
@@ -219,11 +251,28 @@ impl Daemon {
     pub fn run(self) -> std::io::Result<()> {
         let Daemon { listener, addr: _, config, stop, drain } = self;
         let depth = Arc::new(AtomicI64::new(0));
+        let clock: Arc<dyn MonotonicClock> = Arc::new(StdClock::new());
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+
+        let hub = config
+            .telemetry_interval
+            .map(|iv| Arc::new(TelemetryHub::new(iv, config.telemetry_queue)));
+        let publisher = match &hub {
+            Some(hub) => {
+                let hub = Arc::clone(hub);
+                let stop = Arc::clone(&stop);
+                Some(
+                    std::thread::Builder::new()
+                        .name("locapd-telemetry".into())
+                        .spawn(move || hub.run(&stop))?,
+                )
+            }
+            None => None,
+        };
 
         let worker_shared = Arc::new(WorkerShared {
             rx: Mutex::new(rx),
-            clock: Arc::new(StdClock::new()),
+            clock: Arc::clone(&clock),
             drain: drain.clone(),
             depth: Arc::clone(&depth),
             config: config.clone(),
@@ -237,8 +286,16 @@ impl Daemon {
             })
             .collect::<std::io::Result<_>>()?;
 
-        let conn_shared =
-            Arc::new(ConnShared { tx, stop: Arc::clone(&stop), drain, depth, config });
+        let conn_shared = Arc::new(ConnShared {
+            tx,
+            stop: Arc::clone(&stop),
+            drain,
+            depth,
+            config,
+            clock,
+            hub,
+            next_req_id: Arc::new(AtomicU64::new(0)),
+        });
         listener.set_nonblocking(true)?;
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !stop.load(Ordering::SeqCst) {
@@ -261,6 +318,7 @@ impl Daemon {
                     join_all(connections);
                     drop(conn_shared);
                     join_workers(workers);
+                    join_all(publisher.into_iter().collect());
                     return Err(e);
                 }
             }
@@ -269,6 +327,8 @@ impl Daemon {
         // dropping the last sender ends the worker recv loops
         drop(conn_shared);
         join_workers(workers);
+        // the publisher sees the stop flag within its poll interval
+        join_all(publisher.into_iter().collect());
         Ok(())
     }
 }
@@ -289,6 +349,19 @@ fn join_workers(handles: Vec<std::thread::JoinHandle<()>>) {
 /// construction site of this counter family.
 fn record_error_kind(kind: &str) {
     obs::counter(&format!("serve/errors/{kind}")).inc();
+}
+
+/// Records one request-phase latency into the fine-grained
+/// `serve/request/<pipeline>/<phase>` histogram — the one construction
+/// site of this latency family. Phases are [`PHASE_QUEUE_WAIT`],
+/// [`PHASE_PARSE`], [`PHASE_RUN`] and [`PHASE_SERIALIZE`].
+fn record_phase(pipeline: &str, phase: &str, ns: u64) {
+    obs::latency(&format!("serve/request/{pipeline}/{phase}")).record_ns(ns);
+}
+
+/// A duration as saturating nanoseconds.
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Writes one response line; counts it as ok/err/undeliverable.
@@ -325,8 +398,9 @@ fn salvage_id(line: &[u8]) -> Json {
 }
 
 fn stats_json(shared: &ConnShared) -> Json {
-    let snap = obs::snapshot();
-    let get = |k: &str| snap.counters.get(k).copied().unwrap_or(0) as f64;
+    let registry = TelemetryState::capture_global();
+    let get = |k: &str| registry.counters.get(k).copied().unwrap_or(0) as f64;
+    let telemetry_interval_ms = shared.hub.as_ref().map_or(0, |hub| hub.interval_ms());
     Json::Obj(vec![
         ("requests".into(), Json::Num(get(REQUESTS))),
         ("responses_ok".into(), Json::Num(get(RESP_OK))),
@@ -337,6 +411,11 @@ fn stats_json(shared: &ConnShared) -> Json {
         ("queue_depth".into(), Json::Num(shared.depth.load(Ordering::SeqCst) as f64)),
         ("queue_capacity".into(), Json::Num(shared.config.queue_depth as f64)),
         ("workers".into(), Json::Num(shared.config.workers as f64)),
+        ("telemetry_interval_ms".into(), Json::Num(telemetry_interval_ms as f64)),
+        // the full registry at telemetry resolution: every counter,
+        // gauge, span histogram and latency histogram (same encoding as
+        // subscribe frames' data)
+        ("registry".into(), registry.to_json()),
     ])
 }
 
@@ -357,6 +436,7 @@ fn connection_loop(stream: TcpStream, shared: &ConnShared) {
         }
     };
     let cancel = CancelToken::new();
+    let mut subscriptions: Vec<u64> = Vec::new();
     let mut reader = FrameReader::new(stream, shared.config.max_frame_bytes);
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -368,7 +448,7 @@ fn connection_loop(stream: TcpStream, shared: &ConnShared) {
                 if line.iter().all(u8::is_ascii_whitespace) {
                     continue; // keep-alive
                 }
-                if handle_frame(&line, &writer, &cancel, shared) {
+                if handle_frame(&line, &writer, &cancel, &mut subscriptions, shared) {
                     break; // shutdown requested on this connection
                 }
             }
@@ -384,8 +464,12 @@ fn connection_loop(stream: TcpStream, shared: &ConnShared) {
             Err(FrameError::Unterminated) | Err(FrameError::Io(_)) => break,
         }
     }
-    // disconnect: cancel this connection's in-flight jobs
+    // disconnect: cancel this connection's in-flight jobs and detach its
+    // telemetry subscriptions
     cancel.cancel();
+    if let Some(hub) = &shared.hub {
+        hub.unsubscribe(&subscriptions);
+    }
     record_disconnect();
 }
 
@@ -395,8 +479,10 @@ fn handle_frame(
     line: &[u8],
     writer: &Arc<Mutex<TcpStream>>,
     cancel: &CancelToken,
+    subscriptions: &mut Vec<u64>,
     shared: &ConnShared,
 ) -> bool {
+    let parse_started = shared.clock.elapsed();
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
@@ -404,6 +490,7 @@ fn handle_frame(
             return false;
         }
     };
+    let parse_ns = dur_ns(shared.clock.elapsed().saturating_sub(parse_started));
     obs::counter(REQUESTS).inc();
     match request {
         Request::Ping { id } => {
@@ -412,6 +499,21 @@ fn handle_frame(
         }
         Request::Stats { id } => {
             write_response(writer, &ok_response(&id, "stats", 0, stats_json(shared)));
+            false
+        }
+        Request::Subscribe { id } => {
+            let Some(hub) = &shared.hub else {
+                let e = ProtocolError::TelemetryDisabled;
+                write_error(writer, &id, &e.kind(), &e.to_string());
+                return false;
+            };
+            // ack before registering, so the ack precedes the first frame
+            let result = Json::Obj(vec![
+                ("interval_ms".into(), Json::Num(hub.interval_ms() as f64)),
+                ("queue".into(), Json::Num(hub.queue_depth() as f64)),
+            ]);
+            write_response(writer, &ok_response(&id, "subscribe", 0, result));
+            subscriptions.push(hub.subscribe(Arc::clone(writer)));
             false
         }
         Request::Shutdown { id } => {
@@ -431,8 +533,17 @@ fn handle_frame(
                 write_error(writer, &id, &e.kind(), &e.to_string());
                 return false;
             }
-            let job =
-                Job { id, request, budget, writer: Arc::clone(writer), cancel: cancel.clone() };
+            let req_id = shared.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
+            record_phase(request.pipeline(), PHASE_PARSE, parse_ns);
+            let job = Job {
+                id,
+                req_id,
+                request,
+                budget,
+                writer: Arc::clone(writer),
+                cancel: cancel.clone(),
+                enqueued_at: shared.clock.elapsed(),
+            };
             shared.depth.fetch_add(1, Ordering::SeqCst);
             obs::gauge(QUEUE_DEPTH).set_max(shared.depth.load(Ordering::SeqCst));
             match shared.tx.try_send(job) {
@@ -465,14 +576,27 @@ fn worker_loop(shared: &WorkerShared) {
 }
 
 fn process_job(job: Job, shared: &WorkerShared) {
+    let pipeline = job.request.pipeline();
+    record_phase(
+        pipeline,
+        PHASE_QUEUE_WAIT,
+        dur_ns(shared.clock.elapsed().saturating_sub(job.enqueued_at)),
+    );
     let before = shared.config.artifact_dir.as_ref().map(|_| obs::snapshot());
     let budget = job
         .budget
         .realize(&shared.clock, shared.config.default_deadline, shared.config.max_deadline)
         .with_cancel(job.cancel.clone())
         .with_cancel(shared.drain.clone());
-    let (outcome, elapsed) = locap_bench::timed(|| job.request.run(&budget));
+    let (outcome, elapsed) = {
+        // the span records the run under `serve/request` and, when
+        // OBS_TRACE is on, emits a trace event carrying the request id
+        let _span = obs::span_with(REQUEST_SPAN, &[("req", job.req_id as i64)]);
+        locap_bench::timed(|| job.request.run(&budget))
+    };
+    record_phase(pipeline, PHASE_RUN, dur_ns(elapsed));
     shared.depth.fetch_sub(1, Ordering::SeqCst);
+    let serialize_started = shared.clock.elapsed();
     match outcome {
         Ok(result) => {
             if let (Some(dir), Some(before)) = (shared.config.artifact_dir.as_ref(), before) {
@@ -503,4 +627,9 @@ fn process_job(job: Job, shared: &WorkerShared) {
             write_error(&job.writer, &job.id, &core_error_kind(&e), &e.to_string());
         }
     }
+    record_phase(
+        pipeline,
+        PHASE_SERIALIZE,
+        dur_ns(shared.clock.elapsed().saturating_sub(serialize_started)),
+    );
 }

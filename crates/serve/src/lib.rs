@@ -12,6 +12,13 @@
 //!   answering every failure with a typed error response, and writing a
 //!   `*.provenance.json` sidecar ([`provenance`]) for every artifact.
 //!
+//! The daemon additionally streams **live telemetry**: the `subscribe`
+//! op attaches the connection to a periodic publisher ([`telemetry`])
+//! that fans out delta-encoded registry snapshots, with per-request
+//! phase latencies (queue-wait / parse / run / serialize) recorded into
+//! fine-grained histograms per pipeline. `locap watch` ([`watch`])
+//! renders the stream as a live table.
+//!
 //! The wire protocol is hand-rolled on the `locap-obs` JSON machinery —
 //! no new dependencies, per the workspace's offline-shim policy.
 
@@ -21,6 +28,8 @@
 pub mod daemon;
 pub mod protocol;
 pub mod provenance;
+pub mod telemetry;
+pub mod watch;
 
 pub use daemon::{
     CONNECTIONS, DISCONNECTS, QUEUE_DEPTH, REQUESTS, RESP_ERR, RESP_OK, SIDECARS, UNDELIVERABLE,

@@ -187,6 +187,23 @@ fn ping_and_stats_ops_answer_inline() {
         result.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 2,
         "stats counted this connection's requests: {stats}"
     );
+    assert!(
+        result.get("telemetry_interval_ms").and_then(Json::as_u64).is_some(),
+        "stats carries telemetry_interval_ms: {stats}"
+    );
+    // stats now embeds the full registry snapshot (counters, gauges,
+    // spans, latencies), reusing the telemetry capture machinery
+    let registry = result.get("registry").expect("stats carries the registry snapshot");
+    let state = locap_obs::telemetry::TelemetryState::from_json(registry)
+        .unwrap_or_else(|e| panic!("stats registry parses as a telemetry state ({e}): {stats}"));
+    assert!(
+        state.counters.get("serve/requests").copied().unwrap_or(0) >= 2,
+        "registry snapshot carries serve/requests: {stats}"
+    );
+    assert!(
+        state.latencies.keys().any(|k| k.starts_with("serve/request/")),
+        "registry snapshot carries per-phase request latencies: {stats}"
+    );
     daemon.stop();
 }
 
