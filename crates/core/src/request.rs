@@ -26,9 +26,13 @@ use locap_models::{run, IdVertexAlgorithm, OiVertexAlgorithm};
 use locap_num::Ratio;
 use locap_obs::json::Json;
 use locap_problems::{approx_ratio, independent_set, vertex_cover, Goal};
+use locap_store::{StoreHandle, StoreKey};
 
 use crate::transfer::require_complete;
 use crate::{eds_lower, hom_lift, homogeneous, oi_to_po, ramsey, transfer, CoreError};
+
+/// Store namespace holding whole-request result documents.
+pub const PIPELINE_STORE_NS: &str = "pipeline";
 
 /// Every pipeline name this layer dispatches, in CLI/daemon order.
 pub const PIPELINES: [&str; 7] =
@@ -545,10 +549,33 @@ impl PipelineRequest {
     /// [`CoreError::Truncated`] before any work starts, so every
     /// pipeline truncates deterministically under a zero deadline.
     pub fn run(&self, budget: &RunBudget) -> Result<Json, CoreError> {
+        self.run_with_store(budget, None)
+    }
+
+    /// [`PipelineRequest::run`] with an optional persistent result store.
+    ///
+    /// With a store, the request's result document is looked up under its
+    /// content key first — a warm hit skips the computation entirely —
+    /// and persisted on a successful cold run. The census pipeline
+    /// additionally consults the store per radius (so overlapping census
+    /// requests share sub-censuses). Store damage degrades to a
+    /// recompute and store write failures are counted but never turn a
+    /// successful run into an error.
+    pub fn run_with_store(
+        &self,
+        budget: &RunBudget,
+        store: Option<&StoreHandle>,
+    ) -> Result<Json, CoreError> {
         if let Some(t) = budget.check_interrupt() {
             return Err(CoreError::Truncated { stage: self.pipeline(), reason: t.publish() });
         }
-        match *self {
+        let keyed = store.map(|s| (s, self.store_key()));
+        if let Some((s, key)) = &keyed {
+            if let Some(doc) = s.get(PIPELINE_STORE_NS, key) {
+                return Ok(doc);
+            }
+        }
+        let result = match *self {
             PipelineRequest::EdsLower { delta_prime, n } => run_eds_lower(delta_prime, n, budget),
             PipelineRequest::Homogeneous { k, r, m } => run_homogeneous(k, r, m, budget),
             PipelineRequest::HomLift { cycle, m } => run_hom_lift(cycle, m, budget),
@@ -557,8 +584,20 @@ impl PipelineRequest {
                 run_ramsey(algo, universe, r, m, budget)
             }
             PipelineRequest::Transfer { algo, cycle, m } => run_transfer(algo, cycle, m, budget),
-            PipelineRequest::Census { family, radius } => run_census(family, radius, budget),
+            PipelineRequest::Census { family, radius } => run_census(family, radius, budget, store),
+        }?;
+        if let Some((s, key)) = &keyed {
+            s.put(PIPELINE_STORE_NS, key, &result).ok();
         }
+        Ok(result)
+    }
+
+    /// The content key addressing this request's result document in a
+    /// store: a digest of the pipeline name plus the canonical
+    /// parameter encoding (which round-trips through `parse`, so equal
+    /// requests key equally and distinct ones key distinctly).
+    pub fn store_key(&self) -> StoreKey {
+        StoreKey::of_bytes(format!("{} {}", self.pipeline(), self.params_json()).as_bytes())
     }
 }
 
@@ -724,7 +763,12 @@ fn run_transfer(algo: OiAlgo, cycle: usize, m: u64, budget: &RunBudget) -> Resul
     Ok(Json::Obj(f))
 }
 
-fn run_census(family: CensusFamily, radius: usize, budget: &RunBudget) -> Result<Json, CoreError> {
+fn run_census(
+    family: CensusFamily,
+    radius: usize,
+    budget: &RunBudget,
+    store: Option<&StoreHandle>,
+) -> Result<Json, CoreError> {
     let d = family.build();
     let mut cache = ViewCache::new(&d);
     let mut per_radius = Vec::new();
@@ -735,9 +779,11 @@ fn run_census(family: CensusFamily, radius: usize, budget: &RunBudget) -> Result
         if let Some(t) = budget.check_interrupt().or_else(|| budget.check_rounds(r - 1)) {
             return Err(CoreError::Truncated { stage: "census", reason: t.publish() });
         }
-        let census = cache
-            .try_census(r, budget.cache_cap())
-            .map_err(|t| CoreError::Truncated { stage: "census", reason: t.publish() })?;
+        let census = match store {
+            Some(s) => cache.try_census_stored(r, budget.cache_cap(), s),
+            None => cache.try_census(r, budget.cache_cap()),
+        }
+        .map_err(|t| CoreError::Truncated { stage: "census", reason: t.publish() })?;
         per_radius.push(Json::Obj(vec![
             ("radius".into(), Json::Num(r as f64)),
             ("classes".into(), Json::Num(census.len() as f64)),
@@ -845,6 +891,32 @@ mod tests {
                 "{pipeline}: expected truncation, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn stored_runs_answer_warm_and_match_the_cold_result() {
+        let dir = std::env::temp_dir().join(format!("locap-core-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = StoreHandle::open(&dir).expect("open scratch store");
+        for (pipeline, params) in [
+            ("eds-lower", "{\"n\": 9}"),
+            ("census", "{\"family\": \"directed-cycle\", \"n\": 12, \"radius\": 2}"),
+        ] {
+            let req = parse_req(pipeline, params).expect("valid request");
+            let before = store.stats();
+            let cold = req
+                .run_with_store(&RunBudget::unlimited(), Some(&store))
+                .expect("cold run succeeds");
+            assert_eq!(cold, req.run(&RunBudget::unlimited()).expect("storeless run"));
+            let warm = req
+                .run_with_store(&RunBudget::unlimited(), Some(&store))
+                .expect("warm run succeeds");
+            assert_eq!(warm, cold, "{pipeline}: warm result identical");
+            let after = store.stats();
+            assert!(after.warm_hit > before.warm_hit, "{pipeline}: served from store");
+            assert!(after.write > before.write, "{pipeline}: cold run wrote back");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,10 +26,14 @@ const INTERN_ENTRIES: &str = "intern/entries";
 /// Sentinel for an empty open-addressing slot.
 const EMPTY: u32 = u32::MAX;
 
-/// Hashes a key: FNV-1a over `u64` words with rotation, finished by the
-/// splitmix64 mixer so table indices use well-mixed low bits.
-fn hash_key(key: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (key.len() as u64);
+/// Digests a `u64` key slice under a caller-chosen seed: FNV-1a over
+/// the words with rotation, finished by the splitmix64 mixer so every
+/// output bit is well mixed. Seed `0` reproduces the interner's own
+/// table hash exactly; independent seeds give independent digests, so
+/// callers needing collision resistance beyond 64 bits (the
+/// content-addressed result store) combine two seeded digests.
+pub fn digest_words_seeded(key: &[u64], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed ^ (key.len() as u64);
     for &w in key {
         h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
         h = h.rotate_left(27);
@@ -39,6 +43,11 @@ fn hash_key(key: &[u64]) -> u64 {
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
     h ^ (h >> 31)
+}
+
+/// Hashes a key for the probe table (the seed-0 digest).
+fn hash_key(key: &[u64]) -> u64 {
+    digest_words_seeded(key, 0)
 }
 
 /// An append-only arena interner for `u64` key slices.

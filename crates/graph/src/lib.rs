@@ -55,7 +55,7 @@ pub use csr::{CsrGraph, NodeBitset};
 pub use digraph::{DirEdge, LCsr, LDigraph, Label};
 pub use dot::{digraph_to_dot, graph_to_dot};
 pub use error::GraphError;
-pub use intern::KeyInterner;
+pub use intern::{digest_words_seeded, KeyInterner};
 pub use order::OrderedGraph;
 pub use ports::{PoGraph, PortNumbering};
 pub use simple::{Edge, Graph, NodeId};

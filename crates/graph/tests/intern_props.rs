@@ -6,9 +6,11 @@
 //! tables keyed by owned canonical forms with dense `Vec` lookups.
 
 use locap_graph::canon::{
-    id_key_into, id_nbhd, ordered_key_into, ordered_nbhd, IdNbhd, NbhdScratch, OrderedNbhd,
+    id_key_into, id_nbhd, ordered_key_into, ordered_nbhd, ordered_type_census, IdNbhd, NbhdScratch,
+    OrderedNbhd,
 };
-use locap_graph::{CsrGraph, Graph, KeyInterner};
+use locap_graph::{gen, CsrGraph, Graph, KeyInterner};
+use locap_obs as obs;
 use proptest::prelude::*;
 
 /// Builds a random simple graph on `n` nodes with maximum degree `dmax`
@@ -33,6 +35,28 @@ fn shuffled(n: usize, rng: &mut TestRng) -> Vec<usize> {
         v.swap(i, j);
     }
     v
+}
+
+/// Census over a cycle exercises the interner's memo discipline with
+/// exactly known counts: a radius-1 identity-rank census of `cycle(n)`
+/// sees 3 distinct ordered types (the two rank boundary vertices' views
+/// plus the bulk type), so the interner must report exactly 3 misses
+/// and n − 3 hits. Counter assertions use snapshot deltas — the obs
+/// registry is process-global, so absolute values would race with the
+/// other tests in this binary.
+#[test]
+fn cycle_census_interns_each_type_once() {
+    let n = 1 << 12;
+    let g = gen::cycle(n);
+    let rank: Vec<usize> = (0..n).collect();
+    let before = obs::snapshot();
+    let census = ordered_type_census(&g, &rank, 1);
+    let delta = obs::snapshot().delta(&before);
+    assert_eq!(census.len(), 3);
+    let hits = delta.counters.get("intern/hits").copied().unwrap_or(0);
+    let misses = delta.counters.get("intern/misses").copied().unwrap_or(0);
+    assert_eq!(misses, 3, "one miss per distinct type");
+    assert_eq!(hits, (n - 3) as u64, "every other vertex hits the arena");
 }
 
 proptest! {

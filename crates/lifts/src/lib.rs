@@ -54,6 +54,7 @@ pub use cover::{
 };
 pub use error::LiftError;
 pub use view::{
-    view, view_census, view_census_naive, ViewCache, ViewCacheStats, ViewNode, ViewTree,
+    census_from_json, census_key, census_to_json, view, view_census, view_census_naive, ViewCache,
+    ViewCacheStats, ViewNode, ViewTree, CENSUS_STORE_NS,
 };
 pub use word::{Letter, Word};

@@ -15,6 +15,8 @@ use std::collections::HashMap;
 use locap_graph::budget::TruncationReason;
 use locap_graph::{KeyInterner, LCsr, LDigraph, NodeId};
 use locap_obs as obs;
+use locap_obs::json::Json;
+use locap_store::{Lookup, StoreHandle, StoreKey};
 
 use crate::{Letter, Word};
 
@@ -389,6 +391,32 @@ impl<'g> ViewCache<'g> {
         Ok(self.census(r))
     }
 
+    /// Store-backed [`ViewCache::try_census`]: consults `store` under the
+    /// content key [`census_key`]`(d, r)` before computing, and writes the
+    /// census back on a miss. A checksum-valid entry whose body fails the
+    /// census decode counts as corrupt and falls through to a recompute;
+    /// a failed write-back is recorded (`store/write_failed`) but never
+    /// fails the census — the store is an accelerator, not a dependency.
+    pub fn try_census_stored(
+        &mut self,
+        r: usize,
+        cap: Option<usize>,
+        store: &StoreHandle,
+    ) -> Result<Vec<(ViewTree, usize)>, TruncationReason> {
+        let key = census_key(self.d, r);
+        if let Lookup::Hit(doc) = store.lookup(CENSUS_STORE_NS, &key) {
+            match census_from_json(&doc, r, self.d.alphabet_size()) {
+                Some(census) => return Ok(census),
+                None => store.note_corrupt(),
+            }
+        }
+        let census = self.try_census(r, cap)?;
+        store
+            .put(CENSUS_STORE_NS, &key, &census_to_json(&census, r, self.d.alphabet_size()))
+            .ok();
+        Ok(census)
+    }
+
     /// Builds levels up to `r` unless the classes held across levels
     /// `0..=r` would exceed `cap`. Levels are built one at a time with
     /// the running total checked after each, so the cache never holds
@@ -614,6 +642,113 @@ impl<'g> ViewCache<'g> {
     }
 }
 
+/// Store namespace holding persisted view censuses.
+pub const CENSUS_STORE_NS: &str = "view-census";
+
+/// Version of the persisted census document body.
+const CENSUS_DOC_SCHEMA: u64 = 1;
+
+/// The content key of the radius-`r` census of `d`: a digest of the full
+/// adjacency function `(v, ℓ) ↦ out_neighbor(v, ℓ)` plus `n`, `|L|` and
+/// `r`, so any structural change to the graph — or a different radius —
+/// addresses a different store entry.
+pub fn census_key(d: &LDigraph, r: usize) -> StoreKey {
+    let n = d.node_count();
+    let alphabet = d.alphabet_size();
+    let mut words = Vec::with_capacity(3 + n * alphabet);
+    words.push(n as u64);
+    words.push(alphabet as u64);
+    words.push(r as u64);
+    for v in 0..n {
+        for label in 0..alphabet {
+            words.push(d.out_neighbor(v, label).map_or(u64::MAX, |u| u as u64));
+        }
+    }
+    StoreKey::of_words(&words)
+}
+
+/// Encodes a census as a store document body: each class's count plus
+/// its tree as nested `[code, children]` arrays (letter code `2ℓ` for
+/// `ℓ`, `2ℓ + 1` for `ℓ⁻¹` — the `letter_of` encoding).
+pub fn census_to_json(census: &[(ViewTree, usize)], radius: usize, alphabet: usize) -> Json {
+    fn node_to_json(node: &ViewNode) -> Json {
+        Json::Arr(
+            node.children
+                .iter()
+                .map(|(l, c)| {
+                    let code = 2 * l.label + usize::from(l.inverse);
+                    Json::Arr(vec![Json::Num(code as f64), node_to_json(c)])
+                })
+                .collect(),
+        )
+    }
+    Json::Obj(vec![
+        ("schema".into(), Json::Num(CENSUS_DOC_SCHEMA as f64)),
+        ("radius".into(), Json::Num(radius as f64)),
+        ("alphabet".into(), Json::Num(alphabet as f64)),
+        (
+            "classes".into(),
+            Json::Arr(
+                census
+                    .iter()
+                    .map(|(tree, count)| {
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(*count as f64)),
+                            ("tree".into(), node_to_json(&tree.root)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a census document written by [`census_to_json`], checking the
+/// schema and that `radius`/`alphabet` match the expected values.
+/// Returns `None` on any mismatch or malformed tree (a child list that
+/// is not strictly letter-sorted is rejected — trees must stay
+/// canonical so `ViewTree` equality remains view isomorphism).
+pub fn census_from_json(
+    doc: &Json,
+    radius: usize,
+    alphabet: usize,
+) -> Option<Vec<(ViewTree, usize)>> {
+    fn node_from_json(j: &Json) -> Option<ViewNode> {
+        let entries = j.as_array()?;
+        let mut children = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let pair = entry.as_array()?;
+            let (code_json, child_json) = match pair {
+                [code, child] => (code, child),
+                _ => return None,
+            };
+            let code = usize::try_from(code_json.as_u64()?).ok()?;
+            let letter = if code % 2 == 0 { Letter::pos(code / 2) } else { Letter::neg(code / 2) };
+            children.push((letter, node_from_json(child_json)?));
+        }
+        if children.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return None;
+        }
+        Some(ViewNode { children })
+    }
+    if doc.get("schema")?.as_u64()? != CENSUS_DOC_SCHEMA {
+        return None;
+    }
+    if doc.get("radius")?.as_u64()? != radius as u64 {
+        return None;
+    }
+    if doc.get("alphabet")?.as_u64()? != alphabet as u64 {
+        return None;
+    }
+    let mut out = Vec::new();
+    for class in doc.get("classes")?.as_array()? {
+        let count = usize::try_from(class.get("count")?.as_u64()?).ok()?;
+        let root = node_from_json(class.get("tree")?)?;
+        out.push((ViewTree { root, radius, alphabet }, count));
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,5 +859,65 @@ mod tests {
         let total: usize = census.iter().map(|x| x.1).sum();
         assert_eq!(total, 4);
         assert!(census.len() >= 2);
+    }
+
+    #[test]
+    fn census_json_codec_round_trips() {
+        let t = toroidal(3, 4);
+        for r in 0..3 {
+            let census = view_census(&t, r);
+            let doc = census_to_json(&census, r, t.alphabet_size());
+            // through the compact text form, as the store serialises it
+            let parsed = Json::parse(&doc.to_string()).unwrap();
+            let back = census_from_json(&parsed, r, t.alphabet_size()).unwrap();
+            assert_eq!(back, census, "radius {r}");
+            // mismatched expectations are rejected, not misdecoded
+            assert!(census_from_json(&parsed, r + 1, t.alphabet_size()).is_none());
+            assert!(census_from_json(&parsed, r, t.alphabet_size() + 1).is_none());
+        }
+    }
+
+    #[test]
+    fn census_key_separates_graphs_and_radii() {
+        let a = gen::directed_cycle(8);
+        let b = gen::directed_cycle(9);
+        assert_eq!(census_key(&a, 2), census_key(&a, 2));
+        assert_ne!(census_key(&a, 2), census_key(&a, 3));
+        assert_ne!(census_key(&a, 2), census_key(&b, 2));
+    }
+
+    #[test]
+    fn stored_census_hits_warm_and_recovers_from_corruption() {
+        let dir = std::env::temp_dir().join(format!("locap-lifts-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = StoreHandle::open(&dir).unwrap();
+        let g = gen::directed_cycle(10);
+        let expected = view_census(&g, 2);
+
+        // cold: computed and written back
+        let mut cache = ViewCache::new(&g);
+        assert_eq!(cache.try_census_stored(2, None, &store).unwrap(), expected);
+        assert_eq!((store.stats().cold_miss, store.stats().write), (1, 1));
+
+        // warm: a fresh cache answers from disk
+        let mut cache = ViewCache::new(&g);
+        assert_eq!(cache.try_census_stored(2, None, &store).unwrap(), expected);
+        assert_eq!(store.stats().warm_hit, 1);
+
+        // corrupt the entry on disk: typed miss, recompute, repair
+        let path = store.entry_path(CENSUS_STORE_NS, &census_key(&g, 2));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut cache = ViewCache::new(&g);
+        assert_eq!(cache.try_census_stored(2, None, &store).unwrap(), expected);
+        assert!(store.stats().corrupt >= 1);
+        assert_eq!(store.stats().write, 2, "repaired entry rewritten");
+        assert_eq!(
+            store.lookup(CENSUS_STORE_NS, &census_key(&g, 2)),
+            Lookup::Hit(census_to_json(&expected, 2, g.alphabet_size()),)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -46,6 +46,7 @@ impl Config {
                 "crates/core/src/",
                 "crates/graph/src/budget.rs",
                 "crates/serve/src/",
+                "crates/store/src/",
             ],
             clock_allow: vec![
                 ClockAllow {

@@ -181,6 +181,40 @@ pub fn f(ns: u64) {
 }
 
 #[test]
+fn l3_covers_the_store_counter_family() {
+    // the result store's hit/miss/corruption counters follow the same
+    // const-name discipline as every other metric family
+    let clean = r#"
+pub const STORE_WARM_HIT: &str = "store/warm_hit";
+pub const STORE_CORRUPT: &str = "store/corrupt";
+pub fn f() {
+    obs::counter(STORE_WARM_HIT).inc();
+    obs::counter(STORE_CORRUPT).inc();
+}
+"#;
+    assert!(lint_one("crates/store/src/fixture.rs", clean).is_empty());
+
+    // inlining a store counter name is a violation like any other
+    let bad = r#"
+pub fn f() {
+    obs::counter("store/warm_hit").inc();
+}
+"#;
+    let diags = lint_one("crates/store/src/fixture.rs", bad);
+    assert_only("L3", &diags);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+}
+
+#[test]
+fn l1_covers_the_store_crate() {
+    // the store sits on the serving hot path: panic discipline applies
+    let fixture = "#![forbid(unsafe_code)]\npub fn f(v: &[u8]) -> u8 { v[0] }\n";
+    let diags = lint_one("crates/store/src/lib.rs", fixture);
+    assert_only("L1", &diags);
+    assert!(!diags.is_empty(), "indexing in crates/store/src is a violation");
+}
+
+#[test]
 fn l4_fires_on_crate_roots_without_forbid() {
     let bad = "//! A crate.\n\npub fn f() {}\n";
     assert_only("L4", &lint_one("crates/fixture/src/lib.rs", bad));

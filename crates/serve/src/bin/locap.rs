@@ -247,7 +247,10 @@ fn replay(args: &[String]) -> Result<i32, String> {
                 requests.len()
             ));
         }
-        if line.contains("\"ok\":true") {
+        // a response can be "ok" yet carry an artifact_error (the run
+        // succeeded but its artifact/sidecar was not written) — clients
+        // replaying for artifacts must see that as a failure
+        if line.contains("\"ok\":true") && !line.contains("\"artifact_error\":") {
             ok += 1;
         } else {
             err += 1;

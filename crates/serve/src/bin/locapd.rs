@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! locapd [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!        [--max-frame-bytes N] [--artifact-dir DIR]
+//!        [--max-frame-bytes N] [--artifact-dir DIR] [--store-dir DIR]
 //!        [--default-deadline-ms N] [--max-deadline-ms N] [--no-shutdown]
 //!        [--telemetry-interval-ms N] [--telemetry-queue N]
 //! ```
@@ -12,6 +12,9 @@
 //! and serves newline-delimited JSON requests until a `shutdown` op
 //! arrives. With `--artifact-dir` every successful pipeline result is
 //! written there as `<pipeline>-<id>.json` plus a provenance sidecar.
+//! With `--store-dir` results are served from (and written back to) the
+//! content-addressed result store rooted there, so repeat requests
+//! answer from disk (`store/warm_hit` in `stats`) without recomputing.
 //! `subscribe` connections receive delta-encoded telemetry frames every
 //! `--telemetry-interval-ms` (0 disables streaming); slow subscribers
 //! buffer up to `--telemetry-queue` frames before frames are shed.
@@ -31,9 +34,9 @@ fn main() {
             eprintln!("locapd: {msg}");
             eprintln!(
                 "usage: locapd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                 [--max-frame-bytes N] [--artifact-dir DIR] [--default-deadline-ms N] \
-                 [--max-deadline-ms N] [--no-shutdown] [--telemetry-interval-ms N] \
-                 [--telemetry-queue N]"
+                 [--max-frame-bytes N] [--artifact-dir DIR] [--store-dir DIR] \
+                 [--default-deadline-ms N] [--max-deadline-ms N] [--no-shutdown] \
+                 [--telemetry-interval-ms N] [--telemetry-queue N]"
             );
             std::process::exit(2);
         }
@@ -66,6 +69,7 @@ fn cli(args: &[String]) -> Result<i32, String> {
                 config.max_frame_bytes = parse_usize("max-frame-bytes", value()?)?.max(2);
             }
             "--artifact-dir" => config.artifact_dir = Some(PathBuf::from(value()?)),
+            "--store-dir" => config.store_dir = Some(PathBuf::from(value()?)),
             "--default-deadline-ms" => {
                 let ms = parse_usize("default-deadline-ms", value()?)? as u64;
                 config.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));

@@ -46,6 +46,7 @@ use locap_graph::budget::{CancelToken, MonotonicClock, StdClock};
 use locap_obs as obs;
 use locap_obs::json::Json;
 use locap_obs::telemetry::TelemetryState;
+use locap_store::StoreHandle;
 
 use crate::protocol::{
     core_error_kind, err_response, ok_response, parse_request, BudgetSpec, Frame, FrameError,
@@ -109,6 +110,10 @@ pub struct DaemonConfig {
     /// When set, every successful pipeline run writes
     /// `<pipeline>-<id>.json` plus its provenance sidecar here.
     pub artifact_dir: Option<PathBuf>,
+    /// When set, results are served from (and written back to) the
+    /// content-addressed store rooted here: a repeat request answers
+    /// from disk without recomputing.
+    pub store_dir: Option<PathBuf>,
     /// Whether the `shutdown` op is honoured.
     pub allow_shutdown: bool,
     /// Telemetry publisher interval; `None` disables the `subscribe` op
@@ -128,6 +133,7 @@ impl Default for DaemonConfig {
             default_deadline: Some(Duration::from_secs(30)),
             max_deadline: Some(Duration::from_secs(300)),
             artifact_dir: None,
+            store_dir: None,
             allow_shutdown: true,
             telemetry_interval: Some(crate::telemetry::DEFAULT_INTERVAL),
             telemetry_queue: crate::telemetry::DEFAULT_QUEUE,
@@ -165,6 +171,7 @@ pub struct Daemon {
     config: DaemonConfig,
     stop: Arc<AtomicBool>,
     drain: CancelToken,
+    store: Option<StoreHandle>,
 }
 
 pub(crate) fn lock_or_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -209,6 +216,7 @@ struct WorkerShared {
     drain: CancelToken,
     depth: Arc<AtomicI64>,
     config: DaemonConfig,
+    store: Option<StoreHandle>,
 }
 
 impl Daemon {
@@ -219,6 +227,12 @@ impl Daemon {
     ///
     /// Propagates bind failures.
     pub fn bind(addr: impl ToSocketAddrs, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(StoreHandle::open(dir).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            })?),
+            None => None,
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Daemon {
@@ -227,6 +241,7 @@ impl Daemon {
             config,
             stop: Arc::new(AtomicBool::new(false)),
             drain: CancelToken::new(),
+            store,
         })
     }
 
@@ -249,7 +264,7 @@ impl Daemon {
     /// Only fatal listener errors; per-connection and per-request
     /// failures are answered in-protocol.
     pub fn run(self) -> std::io::Result<()> {
-        let Daemon { listener, addr: _, config, stop, drain } = self;
+        let Daemon { listener, addr: _, config, stop, drain, store } = self;
         let depth = Arc::new(AtomicI64::new(0));
         let clock: Arc<dyn MonotonicClock> = Arc::new(StdClock::new());
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth.max(1));
@@ -276,6 +291,7 @@ impl Daemon {
             drain: drain.clone(),
             depth: Arc::clone(&depth),
             config: config.clone(),
+            store,
         });
         let workers: Vec<_> = (0..config.workers.max(1))
             .map(|i| {
@@ -400,7 +416,16 @@ fn salvage_id(line: &[u8]) -> Json {
 fn stats_json(shared: &ConnShared) -> Json {
     let registry = TelemetryState::capture_global();
     let get = |k: &str| registry.counters.get(k).copied().unwrap_or(0) as f64;
+    let get_gauge = |k: &str| registry.gauges.get(k).copied().unwrap_or(0) as f64;
     let telemetry_interval_ms = shared.hub.as_ref().map_or(0, |hub| hub.interval_ms());
+    let store = Json::Obj(vec![
+        ("warm_hit".into(), Json::Num(get(locap_store::STORE_WARM_HIT))),
+        ("cold_miss".into(), Json::Num(get(locap_store::STORE_COLD_MISS))),
+        ("write".into(), Json::Num(get(locap_store::STORE_WRITE))),
+        ("write_failed".into(), Json::Num(get(locap_store::STORE_WRITE_FAILED))),
+        ("corrupt".into(), Json::Num(get(locap_store::STORE_CORRUPT))),
+        ("hit_rate_pct".into(), Json::Num(get_gauge(locap_store::STORE_HIT_RATE))),
+    ]);
     Json::Obj(vec![
         ("requests".into(), Json::Num(get(REQUESTS))),
         ("responses_ok".into(), Json::Num(get(RESP_OK))),
@@ -412,6 +437,9 @@ fn stats_json(shared: &ConnShared) -> Json {
         ("queue_capacity".into(), Json::Num(shared.config.queue_depth as f64)),
         ("workers".into(), Json::Num(shared.config.workers as f64)),
         ("telemetry_interval_ms".into(), Json::Num(telemetry_interval_ms as f64)),
+        // the result-store counter family plus its hit-rate gauge (all
+        // zero when the daemon runs without --store-dir)
+        ("store".into(), store),
         // the full registry at telemetry resolution: every counter,
         // gauge, span histogram and latency histogram (same encoding as
         // subscribe frames' data)
@@ -592,13 +620,14 @@ fn process_job(job: Job, shared: &WorkerShared) {
         // the span records the run under `serve/request` and, when
         // OBS_TRACE is on, emits a trace event carrying the request id
         let _span = obs::span_with(REQUEST_SPAN, &[("req", job.req_id as i64)]);
-        locap_bench::timed(|| job.request.run(&budget))
+        locap_bench::timed(|| job.request.run_with_store(&budget, shared.store.as_ref()))
     };
     record_phase(pipeline, PHASE_RUN, dur_ns(elapsed));
     shared.depth.fetch_sub(1, Ordering::SeqCst);
     let serialize_started = shared.clock.elapsed();
     match outcome {
         Ok(result) => {
+            let mut artifact_error: Option<String> = None;
             if let (Some(dir), Some(before)) = (shared.config.artifact_dir.as_ref(), before) {
                 let delta = obs::snapshot().delta(&before);
                 let pipeline = job.request.pipeline();
@@ -616,11 +645,19 @@ fn process_job(job: Job, shared: &WorkerShared) {
                     Err(e) => {
                         obs::counter(SIDECAR_FAILURES).inc();
                         eprintln!("locapd: failed to write artifact {}: {e}", path.display());
+                        // the run succeeded, so the response stays ok —
+                        // but an unqualified ok would hide the missing
+                        // artifact from `replay --expect-ok` clients
+                        artifact_error =
+                            Some(format!("failed to write artifact {}: {e}", path.display()));
                     }
                 }
             }
-            let doc =
+            let mut doc =
                 ok_response(&job.id, job.request.pipeline(), elapsed.as_millis() as u64, result);
+            if let (Some(msg), Json::Obj(fields)) = (artifact_error, &mut doc) {
+                fields.push(("artifact_error".into(), Json::Str(msg)));
+            }
             write_response(&job.writer, &doc);
         }
         Err(e) => {

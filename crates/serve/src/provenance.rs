@@ -149,6 +149,12 @@ pub fn sidecar_path_for(artifact: &Path) -> PathBuf {
 
 /// A filesystem-safe artifact stem for a request id (alphanumerics,
 /// `-`, `_` and `.` kept; everything else mapped to `-`).
+///
+/// Sanitization is lossy — `"a/b"` and `"a-b"` map to the same safe
+/// text — so whenever it changes the id, a short content hash of the
+/// *original* id is appended: distinct ids always get distinct stems
+/// and never overwrite each other's artifacts. Ids that are already
+/// safe keep their plain stem.
 pub fn artifact_stem(pipeline: &str, id: &Json) -> String {
     let raw = match id {
         Json::Str(s) => s.clone(),
@@ -158,7 +164,12 @@ pub fn artifact_stem(pipeline: &str, id: &Json) -> String {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
         .collect();
-    format!("{pipeline}-{safe}")
+    if safe == raw {
+        format!("{pipeline}-{safe}")
+    } else {
+        let tag = locap_store::StoreKey::of_bytes(raw.as_bytes()).short_hex();
+        format!("{pipeline}-{safe}-{tag}")
+    }
 }
 
 #[cfg(test)]
@@ -185,8 +196,27 @@ mod tests {
     #[test]
     fn artifact_stems_are_filesystem_safe() {
         assert_eq!(artifact_stem("census", &Json::Num(7.0)), "census-7");
-        assert_eq!(artifact_stem("census", &Json::Str("a/b c".into())), "census-a-b-c");
         assert_eq!(artifact_stem("ramsey", &Json::Bool(true)), "ramsey-true");
+        // a sanitized id carries a disambiguating hash of the original
+        let sanitized = artifact_stem("census", &Json::Str("a/b c".into()));
+        assert!(sanitized.starts_with("census-a-b-c-"), "got {sanitized}");
+        assert!(sanitized.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)));
+    }
+
+    #[test]
+    fn distinct_ids_never_collide_on_one_stem() {
+        // "a/b" sanitizes onto the already-safe "a-b": the hash suffix
+        // keeps them apart (the pre-fix behaviour overwrote artifacts)
+        let slashed = artifact_stem("census", &Json::Str("a/b".into()));
+        let dashed = artifact_stem("census", &Json::Str("a-b".into()));
+        assert_ne!(slashed, dashed);
+        assert_eq!(dashed, "census-a-b", "safe ids keep their plain stem");
+        // two distinct ids that sanitize identically also stay apart
+        let spaced = artifact_stem("census", &Json::Str("a b".into()));
+        assert_ne!(slashed, spaced);
+        // equal ids still map to equal stems (artifact overwrite on
+        // re-request is intentional)
+        assert_eq!(slashed, artifact_stem("census", &Json::Str("a/b".into())));
     }
 
     #[test]

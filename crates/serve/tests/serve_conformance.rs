@@ -363,3 +363,134 @@ fn saturation_answers_with_typed_overloaded() {
     expect_ok(&resp);
     daemon.stop();
 }
+
+/// All on-disk store entry files under `root` (recursive).
+fn store_entries(root: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read store dir") {
+            let path = entry.expect("store dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+/// The `result.store` object of a `stats` roundtrip.
+fn store_stats(client: &mut Client) -> Json {
+    let resp = client.roundtrip(r#"{"op":"stats","id":"store-stats"}"#);
+    expect_ok(&resp)
+        .get("store")
+        .unwrap_or_else(|| panic!("stats carries store: {resp}"))
+        .clone()
+}
+
+/// The tentpole acceptance path: a repeat request answers from the
+/// store (`store/warm_hit` moves), and corrupting every store entry on
+/// disk degrades to a recompute — same result, `store/corrupt` moves,
+/// no error, no panic — after which the repaired store serves warm
+/// again.
+#[test]
+fn store_dir_serves_repeats_warm_and_degrades_on_corruption() {
+    let dir = std::env::temp_dir().join(format!("locap-conformance-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = DaemonConfig { store_dir: Some(dir.clone()), ..DaemonConfig::default() };
+    let daemon = TestDaemon::start(config);
+    let mut client = Client::connect(daemon.addr());
+    let request = VALID_REQUESTS[6].1; // census
+
+    let cold = client.roundtrip(request);
+    let cold_result = expect_ok(&cold).clone();
+    let after_cold = store_stats(&mut client);
+    assert!(
+        after_cold.get("write").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "cold run wrote store entries: {after_cold}"
+    );
+
+    let warm = client.roundtrip(request);
+    assert_eq!(expect_ok(&warm), &cold_result, "warm result identical to cold");
+    let after_warm = store_stats(&mut client);
+    let warm_hits = after_warm.get("warm_hit").and_then(Json::as_u64).unwrap_or(0);
+    assert!(warm_hits >= 1, "repeat request served from the store: {after_warm}");
+    assert!(
+        after_warm.get("hit_rate_pct").and_then(Json::as_u64).is_some(),
+        "stats exposes the hit-rate gauge: {after_warm}"
+    );
+
+    // Flip one byte in the middle of every entry on disk.
+    let entries = store_entries(&dir);
+    assert!(!entries.is_empty(), "store holds entries after a cold run");
+    for path in &entries {
+        let mut bytes = std::fs::read(path).expect("read store entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(path, &bytes).expect("rewrite store entry");
+    }
+    let recomputed = client.roundtrip(request);
+    assert_eq!(expect_ok(&recomputed), &cold_result, "corruption degrades to a recompute");
+    let after_corrupt = store_stats(&mut client);
+    assert!(
+        after_corrupt.get("corrupt").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "damaged entries counted as typed misses: {after_corrupt}"
+    );
+
+    // The recompute repaired the entries: warm again.
+    let repaired = client.roundtrip(request);
+    assert_eq!(expect_ok(&repaired), &cold_result);
+    let after_repair = store_stats(&mut client);
+    assert!(
+        after_repair.get("warm_hit").and_then(Json::as_u64).unwrap_or(0) > warm_hits,
+        "repaired store serves warm again: {after_repair}"
+    );
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An artifact/sidecar write failure must not hide behind an
+/// unqualified `ok` response: the response stays ok (the run
+/// succeeded) but carries `artifact_error`, so `replay --expect-ok`
+/// clients detect the missing artifact.
+#[test]
+fn failed_artifact_write_is_flagged_in_the_ok_response() {
+    let base = std::env::temp_dir()
+        .join(format!("locap-conformance-artifact-fail-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("create scratch dir");
+    // The artifact dir's parent is a regular file, so every artifact
+    // write fails with NotADirectory — even when running as root
+    // (permission bits would not).
+    let blocker = base.join("blocker");
+    std::fs::write(&blocker, b"not a directory\n").expect("create blocker file");
+    let config =
+        DaemonConfig { artifact_dir: Some(blocker.join("artifacts")), ..DaemonConfig::default() };
+    let daemon = TestDaemon::start(config);
+    let mut client = Client::connect(daemon.addr());
+
+    let resp = client.roundtrip(VALID_REQUESTS[6].1);
+    expect_ok(&resp);
+    let message = resp
+        .get("artifact_error")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("ok response flags the failed artifact write: {resp}"));
+    assert!(
+        message.contains("failed to write artifact"),
+        "artifact_error explains the failure: {resp}"
+    );
+
+    // A daemon with a writable artifact dir stays unqualified-ok.
+    daemon.stop();
+    let ok_dir = base.join("artifacts-ok");
+    std::fs::create_dir_all(&ok_dir).expect("create artifact dir");
+    let config = DaemonConfig { artifact_dir: Some(ok_dir), ..DaemonConfig::default() };
+    let daemon = TestDaemon::start(config);
+    let mut client = Client::connect(daemon.addr());
+    let resp = client.roundtrip(VALID_REQUESTS[6].1);
+    expect_ok(&resp);
+    assert!(resp.get("artifact_error").is_none(), "no spurious artifact_error: {resp}");
+    daemon.stop();
+    std::fs::remove_dir_all(&base).ok();
+}

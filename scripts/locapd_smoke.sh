@@ -21,7 +21,8 @@ cargo build --release -q -p locap-serve --bin locap --bin locapd
 DAEMON_LOG=$ARTIFACTS/locapd.stderr.log
 target/release/locapd \
     --addr 127.0.0.1:0 --workers 2 --queue-depth 16 \
-    --artifact-dir "$ARTIFACTS" --max-deadline-ms 60000 \
+    --artifact-dir "$ARTIFACTS" --store-dir "$ARTIFACTS/store" \
+    --max-deadline-ms 60000 \
     2> "$DAEMON_LOG" &
 DAEMON_PID=$!
 trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
@@ -57,6 +58,25 @@ if [ "$sidecars" -ne "$requests" ]; then
     exit 1
 fi
 echo "locapd_smoke: $requests requests ok, $sidecars provenance sidecars"
+
+# Replay the same script a second time: every pipeline result is now in
+# the --store-dir, so the daemon must answer warm. The stats op exposes
+# the store counters; a zero warm-hit count means the store path is
+# broken end to end.
+target/release/locap replay scripts/smoke_requests.jsonl \
+    --addr "$ADDR" --expect-ok > "$ARTIFACTS/responses-warm.jsonl"
+STATS_SCRIPT=$ARTIFACTS/.stats.jsonl
+printf '{"op":"stats","id":"smoke-stats"}\n' > "$STATS_SCRIPT"
+target/release/locap replay "$STATS_SCRIPT" --addr "$ADDR" --expect-ok \
+    > "$ARTIFACTS/stats.jsonl"
+rm -f "$STATS_SCRIPT"
+warm_hits=$(sed -n 's|.*"warm_hit":\([0-9]*\).*|\1|p' "$ARTIFACTS/stats.jsonl" | head -n 1)
+if [ -z "$warm_hits" ] || [ "$warm_hits" -eq 0 ]; then
+    echo "locapd_smoke: second replay never hit the result store (warm_hit=${warm_hits:-missing})" >&2
+    cat "$ARTIFACTS/stats.jsonl" >&2
+    exit 1
+fi
+echo "locapd_smoke: second replay served warm ($warm_hits store hits)"
 
 # Clean shutdown over the wire (separate from the --expect-ok replay:
 # a drain answers still-queued jobs as truncated/cancelled).
