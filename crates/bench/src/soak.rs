@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use locap_graph::budget::{MonotonicClock, StdClock};
@@ -125,7 +125,7 @@ impl SoakReport {
 struct Shared {
     clock: StdClock,
     hist: FineHistogram,
-    errors: Mutex<BTreeMap<String, u64>>,
+    errors: Mutex<BTreeMap<String, u64>>, // lint: lock-rank=20
     sent: AtomicU64,
     ok: AtomicU64,
     answered: AtomicU64,
@@ -142,13 +142,28 @@ impl Shared {
             return;
         }
         obs::counter(&format!("soak/errors/{kind}")).add(n);
-        let mut errors = self.errors.lock().unwrap_or_else(|p| p.into_inner());
+        let mut errors = lock_unpoisoned(&self.errors);
         *errors.entry(kind.to_string()).or_insert(0) += n;
     }
 }
 
 /// Requests in flight on one connection: request id → send time (ns).
-type Pending = Arc<Mutex<BTreeMap<u64, u64>>>;
+type Pending = Arc<Mutex<BTreeMap<u64, u64>>>; // lint: lock-rank=10
+
+/// The crate's one allowlisted poison-recovery site (lint L7). A
+/// poisoned soak-side map only means a peer thread panicked mid-update;
+/// the map is still structurally sound and the soak must keep counting
+/// (losing the error taxonomy on the first panic would defeat the run).
+/// Clearing the poison flag keeps later acquisitions on the `Ok` path.
+fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
 
 /// Runs the scenario to completion and reports.
 ///
@@ -194,7 +209,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
         achieved_qps: answered as f64 / elapsed.as_secs_f64().max(1e-9),
         sent: shared.sent.load(Ordering::SeqCst),
         ok: shared.ok.load(Ordering::SeqCst),
-        errors: shared.errors.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+        errors: lock_unpoisoned(&shared.errors).clone(),
         unanswered,
         elapsed_ms: elapsed.as_millis().min(u64::MAX as u128) as u64,
         p50_ns: shared.hist.quantile_ns(0.50),
@@ -255,7 +270,7 @@ fn connection_worker(
     send_schedule(cfg, conn, stream, shared, &pending);
     sender_done.store(true, Ordering::SeqCst);
     let _ = receiver.join();
-    let leftover = pending.lock().unwrap_or_else(|p| p.into_inner());
+    let leftover = lock_unpoisoned(&pending);
     leftover.len() as u64
 }
 
@@ -282,9 +297,9 @@ fn send_schedule(
             "{{\"id\":{tick},\"pipeline\":\"{}\",\"params\":{}}}\n",
             cfg.pipeline, cfg.params
         );
-        pending.lock().unwrap_or_else(|p| p.into_inner()).insert(tick, shared.now_ns());
+        lock_unpoisoned(pending).insert(tick, shared.now_ns());
         if stream.write_all(line.as_bytes()).is_err() {
-            pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&tick);
+            lock_unpoisoned(pending).remove(&tick);
             shared.record_error("transport/send", 1);
             break;
         }
@@ -305,9 +320,7 @@ fn receive(
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        if sender_done.load(Ordering::SeqCst)
-            && pending.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
-        {
+        if sender_done.load(Ordering::SeqCst) && lock_unpoisoned(pending).is_empty() {
             return;
         }
         if shared.clock.elapsed() > deadline {
@@ -350,7 +363,7 @@ fn process_response(line: &str, pending: &Pending, shared: &Shared) {
         shared.record_error("transport/bad_frame", 1);
         return;
     };
-    let sent_ns = pending.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+    let sent_ns = lock_unpoisoned(pending).remove(&id);
     let Some(sent_ns) = sent_ns else {
         shared.record_error("transport/unknown_id", 1);
         return;

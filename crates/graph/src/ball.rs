@@ -175,7 +175,7 @@ impl Graph {
                         q.push_back(u);
                     } else if parent[v] != u {
                         let len = dist[v] + dist[u] + 1;
-                        if best.map_or(true, |b| len < b) {
+                        if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
                     }

@@ -335,6 +335,7 @@ impl NbhdScratch {
     /// Starts a fresh ball computation: bumps the epoch (resetting all
     /// stamps in O(1)) and runs a truncated BFS from `v` in `g`. Leaves
     /// `self.ball` holding the ball sorted by node id.
+    // lint: hot
     fn fill_ball(&mut self, g: &impl Adjacency, v: NodeId, r: usize) {
         let n = g.node_count();
         if self.stamp.len() < n {
@@ -373,6 +374,7 @@ impl NbhdScratch {
     }
 
     /// Records the final sorted order into the position map.
+    // lint: hot
     fn index_ball(&mut self) {
         for (i, &u) in self.ball.iter().enumerate() {
             self.pos[u] = i as u32;
@@ -383,6 +385,7 @@ impl NbhdScratch {
 /// Writes the packed key of τ(G, <, v) into `key` (clearing it first):
 /// the canonical content of [`ordered_nbhd`] with no allocation beyond
 /// the reused buffers. `OrderedNbhd::from_key(key)` recovers the struct.
+// lint: hot
 pub fn ordered_key_into(
     g: &impl Adjacency,
     rank: &[usize],
@@ -405,6 +408,7 @@ pub fn ordered_key_into(
 /// # Panics
 ///
 /// Panics (in debug builds) if identifiers in the ball are not distinct.
+// lint: hot
 pub fn id_key_into(
     g: &impl Adjacency,
     ids: &[u64],
@@ -430,6 +434,7 @@ pub fn id_key_into(
 /// Appends the induced undirected edges of the current ball as packed
 /// `(i << 32) | j` words, sorted; `base` is where the edge section of
 /// `key` starts.
+// lint: hot
 fn push_undirected_edges(
     g: &impl Adjacency,
     scratch: &NbhdScratch,
@@ -462,6 +467,7 @@ fn push_undirected_edges(
 /// Writes the packed key of the ordered L-digraph neighbourhood into
 /// `key`; `und` must be (an adjacency view of) the underlying undirected
 /// graph of `d`. `OrderedLNbhd::from_key(key)` recovers the struct.
+// lint: hot
 pub fn ordered_lkey_into(
     d: &LDigraph,
     und: &impl Adjacency,

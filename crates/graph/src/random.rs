@@ -30,7 +30,7 @@ pub fn random_regular<R: Rng>(
     if d >= n {
         return Err(GraphError::BadParameters { reason: format!("degree {d} >= n = {n}") });
     }
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     for _ in 0..max_tries {
         stubs.shuffle(rng);
         let mut g = Graph::new(n);

@@ -464,6 +464,7 @@ impl<'g> ViewCache<'g> {
     /// [`ViewCache::signature`] appending to `out` without clearing, so
     /// the refinement sweep can pack all signatures of a level into one
     /// flat buffer with no per-state allocation.
+    // lint: hot
     fn signature_append(&self, state: usize, prev: &[u32], out: &mut Vec<u64>) {
         let (v, code) = (state / self.width, state % self.width);
         for label in 0..self.d.alphabet_size() {
@@ -539,6 +540,7 @@ impl<'g> ViewCache<'g> {
     /// One refinement sweep: all per-state signatures at `depth`, packed
     /// into one flat buffer (`lens[s]` words belong to state `s`), fanned
     /// across `std::thread::scope` workers when the state space is large.
+    // lint: hot
     fn signatures_for_level(&mut self, depth: usize) -> (Vec<u64>, Vec<u32>) {
         let n_states = self.d.node_count() * self.width;
         let prev = &self.levels[depth - 1];
@@ -546,8 +548,8 @@ impl<'g> ViewCache<'g> {
         if workers <= 1 || n_states < PARALLEL_MIN_STATES {
             self.stats.workers = 1;
             self.obs_workers.set(1);
-            let mut flat = Vec::new();
-            let mut lens = Vec::with_capacity(n_states);
+            let mut flat = Vec::new(); // lint: hot-allow(per-sweep output buffer, one per refinement round)
+            let mut lens = Vec::with_capacity(n_states); // lint: hot-allow(per-sweep output buffer, one per refinement round)
             for s in 0..n_states {
                 let before = flat.len();
                 self.signature_append(s, prev, &mut flat);
@@ -574,8 +576,8 @@ impl<'g> ViewCache<'g> {
                             "worker",
                             &[("worker", w as i64), ("lo", lo as i64), ("hi", hi as i64)],
                         );
-                        let mut flat = Vec::new();
-                        let mut lens = Vec::with_capacity(hi - lo);
+                        let mut flat = Vec::new(); // lint: hot-allow(worker-local output buffer, one per worker per round)
+                        let mut lens = Vec::with_capacity(hi - lo); // lint: hot-allow(worker-local output buffer, one per worker per round)
                         for s in lo..hi {
                             let before = flat.len();
                             this.signature_append(s, prev, &mut flat);
@@ -585,8 +587,8 @@ impl<'g> ViewCache<'g> {
                     })
                 })
                 .collect();
-            let mut flat = Vec::new();
-            let mut lens = Vec::with_capacity(n_states);
+            let mut flat = Vec::new(); // lint: hot-allow(merge buffer for worker results, one per round)
+            let mut lens = Vec::with_capacity(n_states); // lint: hot-allow(merge buffer for worker results, one per round)
             for h in handles {
                 let (wf, wl) = h.join().expect("signature worker panicked");
                 flat.extend_from_slice(&wf);

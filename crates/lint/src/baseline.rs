@@ -7,6 +7,13 @@
 //! number: line-keyed baselines churn on every unrelated edit, while a
 //! count-keyed ratchet is stable under refactors yet still catches each
 //! newly introduced violation in a file.
+//!
+//! Schema 2 splits the document into two independently ratcheting
+//! sections: `entries` (crate `src/` trees) and `test_entries` (files
+//! under `tests/` and `benches/`, which only the concurrency rules
+//! L6/L7 scan). Test debt never masks production debt and vice versa;
+//! each section only goes down. Schema-1 documents (everything in
+//! `entries`) still parse.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -15,6 +22,37 @@ use std::path::Path;
 use locap_obs::json::Json;
 
 use crate::diag::{DiagStatus, Diagnostic};
+
+/// Which baseline section a file ratchets in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Section {
+    /// Crate `src/` trees: all rules run.
+    Src,
+    /// `tests/` and `benches/` trees: only the concurrency rules
+    /// (L6 lock-order, L7 poison-discipline) run — test code may
+    /// allocate, panic and name metrics freely, but deadlocks and
+    /// silent poison recovery are just as fatal there.
+    Test,
+}
+
+impl Section {
+    /// Section of a repo-relative `/`-separated path.
+    pub fn of(path: &str) -> Section {
+        if path.contains("/tests/") || path.contains("/benches/") {
+            Section::Test
+        } else {
+            Section::Src
+        }
+    }
+
+    /// The JSON key of the section's entry array.
+    pub fn key(self) -> &'static str {
+        match self {
+            Section::Src => "entries",
+            Section::Test => "test_entries",
+        }
+    }
+}
 
 /// Placeholder reason `--update-baseline` writes for new entries. The
 /// check refuses it: a human must replace it with a real rationale.
@@ -61,51 +99,65 @@ impl Baseline {
         Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
-    /// Parses the JSON baseline document.
+    /// Parses the JSON baseline document (schema 1 or 2).
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         let schema = doc.get("schema").and_then(Json::as_u64).ok_or("missing schema number")?;
-        if schema != 1 {
+        if !(1..=2).contains(&schema) {
             return Err(format!("unsupported baseline schema {schema}"));
         }
-        let rows = doc.get("entries").and_then(Json::as_array).ok_or("missing entries array")?;
-        let mut entries = Vec::with_capacity(rows.len());
-        for (i, row) in rows.iter().enumerate() {
-            let field = |key: &str| {
-                row.get(key)
-                    .and_then(Json::as_str)
-                    .map(str::to_string)
-                    .ok_or(format!("entries[{i}]/{key} not a string"))
+        let mut entries = Vec::new();
+        for section in [Section::Src, Section::Test] {
+            let key = section.key();
+            let rows = match doc.get(key).and_then(Json::as_array) {
+                Some(rows) => rows,
+                None if section == Section::Test => continue, // absent in schema 1
+                None => return Err(format!("missing {key} array")),
             };
-            entries.push(BaselineEntry {
-                rule: field("rule")?,
-                file: field("file")?,
-                count: row
-                    .get("count")
-                    .and_then(Json::as_u64)
-                    .ok_or(format!("entries[{i}]/count not a u64"))?,
-                reason: field("reason")?,
-            });
+            for (i, row) in rows.iter().enumerate() {
+                let field = |k: &str| {
+                    row.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or(format!("{key}[{i}]/{k} not a string"))
+                };
+                entries.push(BaselineEntry {
+                    rule: field("rule")?,
+                    file: field("file")?,
+                    count: row
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{key}[{i}]/count not a u64"))?,
+                    reason: field("reason")?,
+                });
+            }
         }
         entries.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
         Ok(Baseline { entries })
     }
 
-    /// Serializes the baseline (pretty-printed: one entry per stanza,
-    /// so paydown diffs read naturally in review).
+    /// Serializes the baseline (schema 2, pretty-printed: one entry per
+    /// stanza so paydown diffs read naturally in review; `src` and
+    /// `tests`/`benches` debt in separate sections).
     pub fn render(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
-        let n = self.entries.len();
-        for (i, e) in self.entries.iter().enumerate() {
-            let row = Json::Obj(vec![
-                ("rule".into(), Json::Str(e.rule.clone())),
-                ("file".into(), Json::Str(e.file.clone())),
-                ("count".into(), Json::Num(e.count as f64)),
-                ("reason".into(), Json::Str(e.reason.clone())),
-            ]);
-            let _ = writeln!(out, "    {row}{}", if i + 1 < n { "," } else { "" });
+        let mut out = String::from("{\n  \"schema\": 2");
+        for section in [Section::Src, Section::Test] {
+            let rows: Vec<&BaselineEntry> =
+                self.entries.iter().filter(|e| Section::of(&e.file) == section).collect();
+            let _ = write!(out, ",\n  \"{}\": [\n", section.key());
+            let n = rows.len();
+            for (i, e) in rows.iter().enumerate() {
+                let row = Json::Obj(vec![
+                    ("rule".into(), Json::Str(e.rule.clone())),
+                    ("file".into(), Json::Str(e.file.clone())),
+                    ("count".into(), Json::Num(e.count as f64)),
+                    ("reason".into(), Json::Str(e.reason.clone())),
+                ]);
+                let _ = writeln!(out, "    {row}{}", if i + 1 < n { "," } else { "" });
+            }
+            out.push_str("  ]");
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("\n}\n");
         out
     }
 
@@ -278,6 +330,44 @@ mod tests {
         assert_eq!(updated.entries[0].count, 1);
         assert_eq!(updated.entries[0].reason, "kept");
         assert_eq!(updated.entries[1].reason, TODO_REASON);
+    }
+
+    #[test]
+    fn sections_split_and_round_trip() {
+        assert_eq!(Section::of("crates/serve/src/daemon.rs"), Section::Src);
+        assert_eq!(Section::of("crates/serve/tests/conformance.rs"), Section::Test);
+        assert_eq!(Section::of("crates/bench/benches/soak.rs"), Section::Test);
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "L1".into(),
+                    file: "crates/core/src/a.rs".into(),
+                    count: 3,
+                    reason: "src debt".into(),
+                },
+                BaselineEntry {
+                    rule: "L7".into(),
+                    file: "crates/serve/tests/t.rs".into(),
+                    count: 1,
+                    reason: "test debt".into(),
+                },
+            ],
+        };
+        let text = b.render();
+        assert!(text.contains("\"schema\": 2"));
+        assert!(text.contains("\"test_entries\""));
+        let src_part = text.split("test_entries").next().expect("split");
+        assert!(!src_part.contains("tests/t.rs"), "test debt stays out of the src section");
+        assert_eq!(Baseline::parse(&text).expect("parses"), b);
+    }
+
+    #[test]
+    fn schema_one_documents_still_parse() {
+        let text = "{\"schema\":1,\"entries\":[{\"rule\":\"L1\",\"file\":\"f.rs\",\"count\":2,\"reason\":\"r\"}]}";
+        let b = Baseline::parse(text).expect("schema 1 parses");
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].count, 2);
+        assert!(Baseline::parse("{\"schema\":3,\"entries\":[]}").is_err());
     }
 
     #[test]

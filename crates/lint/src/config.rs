@@ -33,6 +33,13 @@ pub struct Config {
     /// in reverse: any `pub fn x` with an `x_naive` variant must have an
     /// `x_budgeted` variant.
     pub entry_point_files: Vec<&'static str>,
+    /// Allowlisted poison-recovery helpers (L6/L7): `(crate path
+    /// prefix, fn name)`. Inside a helper's body, post-lock
+    /// `unwrap`/`expect`/`unwrap_or_else` is legal (that is the one
+    /// audited place poisoning is handled); at call sites, passing a
+    /// ranked mutex to the helper counts as acquiring it for the
+    /// lock-order analysis.
+    pub lock_helpers: Vec<(&'static str, &'static str)>,
 }
 
 impl Config {
@@ -98,7 +105,21 @@ impl Config {
             ],
             counter_exempt: vec!["crates/obs/src/"],
             entry_point_files: vec!["crates/models/src/run.rs"],
+            lock_helpers: vec![
+                ("crates/serve/", "lock_or_recover"),
+                ("crates/obs/", "lock_unpoisoned"),
+                ("crates/bench/", "lock_unpoisoned"),
+            ],
         }
+    }
+
+    /// Allowlisted poison-helper names for the crate containing `path`.
+    pub fn lock_helper_names(&self, path: &str) -> Vec<&'static str> {
+        self.lock_helpers
+            .iter()
+            .filter(|(prefix, _)| matches(path, prefix))
+            .map(|(_, name)| *name)
+            .collect()
     }
 
     /// Whether `path` is in the panic-discipline scope.

@@ -5,8 +5,10 @@
 
 use locap_obs::json::Json;
 
-/// The lint JSON document schema version.
-pub const LINT_SCHEMA_VERSION: u64 = 1;
+/// The lint JSON document schema version. Version 2 added the
+/// per-diagnostic `fixable` flag (`check --fix`); version-1 documents
+/// still validate.
+pub const LINT_SCHEMA_VERSION: u64 = 2;
 
 /// The rule catalogue: `(id, name, summary)` for every rule the engine
 /// runs, in rule order.
@@ -36,6 +38,27 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "every pub *_budgeted entry point has a plain delegate; entry-point files pair every \
          fn-with-naive-variant with a budgeted variant",
     ),
+    (
+        "L6",
+        "lock-order",
+        "every Mutex/RwLock declaration carries `// lint: lock-rank=N`; overlapping guard \
+         acquisitions must strictly increase in rank, and guards must be provably dropped \
+         (scope exit or drop()) before send/recv/blocking-I/O calls",
+    ),
+    (
+        "L7",
+        "poison-discipline",
+        ".lock().unwrap()/.expect()/.unwrap_or_else() is forbidden outside the one allowlisted \
+         poison-recovery helper per crate — poisoning must become a typed, counted event, \
+         never a silent thread death",
+    ),
+    (
+        "L8",
+        "hot-path-allocation",
+        "fns annotated `// lint: hot` may not format!/to_string/vec!/Vec::new/HashMap::new/\
+         .clone() outside their setup prefix (before `// lint: hot-setup-end`); per-line \
+         escape hatch `// lint: hot-allow(reason)`",
+    ),
 ];
 
 /// Whether a diagnostic is covered by the committed baseline.
@@ -57,10 +80,23 @@ impl DiagStatus {
     }
 }
 
+/// One mechanical edit of a source file: replace `[start, end)` with
+/// `text` (`start == end` is a pure insertion). `check --fix` applies
+/// these right-to-left per file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixEdit {
+    /// Byte offset of the replaced span's first byte.
+    pub start: usize,
+    /// Byte offset one past the replaced span.
+    pub end: usize,
+    /// Replacement text.
+    pub text: String,
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id (`L1`…`L5`).
+    /// Rule id (`L1`…`L8`).
     pub rule: &'static str,
     /// Repo-relative file.
     pub file: String,
@@ -72,12 +108,28 @@ pub struct Diagnostic {
     pub message: String,
     /// Ratchet status (filled in by the baseline comparison).
     pub status: DiagStatus,
+    /// Mechanical fix, when one exists (empty = not auto-fixable).
+    pub fixes: Vec<FixEdit>,
 }
 
 impl Diagnostic {
     /// Creates a finding (status starts as [`DiagStatus::New`]).
     pub fn new(rule: &'static str, file: &str, line: usize, col: usize, message: String) -> Self {
-        Diagnostic { rule, file: file.to_string(), line, col, message, status: DiagStatus::New }
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            status: DiagStatus::New,
+            fixes: Vec::new(),
+        }
+    }
+
+    /// Attaches mechanical fix edits.
+    pub fn with_fixes(mut self, fixes: Vec<FixEdit>) -> Self {
+        self.fixes = fixes;
+        self
     }
 
     /// The rule's human name from the catalogue.
@@ -143,6 +195,7 @@ pub fn to_json(summary: &Summary, diags: &[Diagnostic]) -> String {
                 ("line".into(), Json::Num(d.line as f64)),
                 ("col".into(), Json::Num(d.col as f64)),
                 ("status".into(), Json::Str(d.status.as_str().into())),
+                ("fixable".into(), Json::Bool(!d.fixes.is_empty())),
                 ("message".into(), Json::Str(d.message.clone())),
             ])
         })
@@ -234,7 +287,7 @@ mod tests {
         let summary = Summary::default();
         let good = to_json(&summary, &diags);
         for (from, to) in [
-            ("\"schema\":1", "\"schema\":99"),
+            ("\"schema\":2", "\"schema\":99"),
             ("\"source\":\"locap-lint\"", "\"source\":\"other\""),
             ("\"status\":\"new\"", "\"status\":\"maybe\""),
             ("\"line\":1", "\"line\":\"one\""),

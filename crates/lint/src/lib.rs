@@ -8,7 +8,7 @@
 //! argument is that guarantees must hold *mechanically* — Göös,
 //! Hirvonen and Suomela eliminate the informal slack between ID and PO
 //! by construction, not by inspection — and this crate applies the same
-//! spirit to the codebase: five repo-specific lints, run in CI, with a
+//! spirit to the codebase: eight repo-specific lints, run in CI, with a
 //! ratcheting baseline so existing debt is visible, justified and only
 //! allowed to shrink.
 //!
@@ -21,6 +21,16 @@
 //! | L3 | counter-discipline | metric names are consts, each constructed at exactly one site |
 //! | L4 | forbid-unsafe     | every crate root carries `#![forbid(unsafe_code)]` |
 //! | L5 | budget-pairing    | every `pub *_budgeted` entry point has a plain delegate (and entry points with naive variants have budgeted ones) |
+//! | L6 | lock-order        | every `Mutex`/`RwLock` carries `// lint: lock-rank=N`; overlapping acquisitions strictly increase; no blocking under a held guard |
+//! | L7 | poison-discipline | post-lock `unwrap`/`expect`/`unwrap_or_else` only inside the one poison-recovery helper per crate |
+//! | L8 | hot-path-allocation | `// lint: hot` fns allocate only in their setup prefix |
+//!
+//! Since v2 the engine analyzes a brace tree ([`tree`]) built over the
+//! token stream — delimiter-matched token trees with item/fn/impl
+//! scopes and `#[cfg(test)]` regions lifted into the IR — rather than
+//! flat token scans, which is what makes scope-aware rules like L6–L8
+//! expressible. `tests/` and `benches/` trees are scanned too (L6/L7
+//! only) and ratchet in their own baseline section.
 //!
 //! Everything is hand-rolled on `std` (lexer included — see
 //! [`lexer`]), consistent with the workspace's offline-shim policy:
@@ -35,10 +45,11 @@ pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod tree;
 
-pub use baseline::{Baseline, BaselineEntry, RatchetOutcome};
+pub use baseline::{Baseline, BaselineEntry, RatchetOutcome, Section};
 pub use config::Config;
-pub use diag::{validate_lint_schema, DiagStatus, Diagnostic, Summary};
+pub use diag::{validate_lint_schema, DiagStatus, Diagnostic, FixEdit, Summary};
 pub use rules::analyze_files;
 
 use std::io;
@@ -46,18 +57,23 @@ use std::path::{Path, PathBuf};
 
 /// Collects the analyzable source files of the workspace rooted at
 /// `root`: every `.rs` file under `crates/*/src` (bin targets
-/// included), as repo-relative `/`-separated paths with contents,
-/// sorted for determinism.
+/// included) plus `crates/*/tests` and `crates/*/benches`, as
+/// repo-relative `/`-separated paths with contents, sorted for
+/// determinism.
 ///
-/// `tests/` and `benches/` directories are deliberately out of scope —
-/// every rule exempts test code anyway — as are `examples/`.
+/// `tests/` and `benches/` files are in scope since v2 — they run only
+/// the concurrency rules (L6/L7; see [`baseline::Section`]) and
+/// ratchet in the baseline's `test_entries` section. `examples/` stays
+/// out of scope.
 pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     let crates_dir = root.join("crates");
     let mut rs_files = Vec::new();
     for krate in read_dir_sorted(&crates_dir)? {
-        let src = krate.join("src");
-        if src.is_dir() {
-            walk_rs(&src, &mut rs_files)?;
+        for sub in ["src", "tests", "benches"] {
+            let dir = krate.join(sub);
+            if dir.is_dir() {
+                walk_rs(&dir, &mut rs_files)?;
+            }
         }
     }
     let mut out = Vec::with_capacity(rs_files.len());

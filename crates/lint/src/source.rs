@@ -1,18 +1,27 @@
-//! Per-file analysis context: the token stream plus the derived regions
-//! the rules treat specially.
+//! Per-file analysis context: the token stream, the brace tree built
+//! over it, the item scopes, and the derived regions the rules treat
+//! specially.
 //!
 //! Two region classes are computed once per file:
 //!
 //! * **test regions** — items annotated `#[cfg(test)]` / `#[test]` /
 //!   `#[should_panic]` (attribute through the end of the item's brace
-//!   block or `;`). All rules skip them: test code may panic, read
-//!   clocks and name metrics freely.
+//!   block or `;`), computed on the brace tree ([`crate::tree`]). All
+//!   rules skip them: test code may panic, read clocks and name
+//!   metrics freely.
 //! * **`# Panics` regions** — bodies of functions whose outer doc
 //!   comment carries a `# Panics` section. The panic-discipline rule
 //!   (L1) skips them: a documented panic is a contract, not a bug
 //!   (PR 4 kept four such contracts deliberately).
+//!
+//! `// lint: …` marker comments (`lock-rank=N`, `hot`, `hot-setup-end`,
+//! `hot-allow(reason)` — see the README annotation grammar) are indexed
+//! by line here so the L6/L8 rules can resolve them in O(log n).
+
+use std::collections::BTreeMap;
 
 use crate::lexer::{self, Doc, Token, TokenKind};
+use crate::tree::{self, Scope, ScopeKind, Tree};
 
 /// A source file prepared for rule checks.
 #[derive(Debug)]
@@ -25,15 +34,22 @@ pub struct FileInfo {
     pub tokens: Vec<Token>,
     /// Indices into `tokens` of significant (non-trivia) tokens.
     pub sig: Vec<usize>,
+    /// The brace tree over `tokens` (total; recovery diags inside).
+    pub tree: Tree,
+    /// Item scopes detected on the tree, sorted by header offset.
+    pub scopes: Vec<Scope>,
     /// Byte ranges of test-only code, sorted and disjoint-ish.
     pub test_regions: Vec<(usize, usize)>,
     /// Byte ranges of `# Panics`-documented function bodies.
     pub panics_regions: Vec<(usize, usize)>,
+    /// `// lint: …` marker comment text by 1-based line.
+    pub markers: BTreeMap<usize, String>,
     line_starts: Vec<usize>,
 }
 
 impl FileInfo {
-    /// Lexes `text` and derives the exemption regions.
+    /// Lexes `text`, builds the brace tree and derives scopes, marker
+    /// index and exemption regions.
     pub fn new(path: String, text: String) -> FileInfo {
         let tokens = lexer::lex(&text);
         let sig: Vec<usize> = tokens
@@ -50,16 +66,42 @@ impl FileInfo {
         let mut line_starts = vec![0];
         line_starts
             .extend(text.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i + 1));
+        let tree = tree::build(&tokens);
+        let scopes = tree::scopes(&tree, &tokens, &text);
+        let test_regions = tree::test_regions(&tree, &tokens, &text);
+        let mut markers = BTreeMap::new();
+        for t in &tokens {
+            // plain comments only: doc comments *describing* the
+            // annotation grammar must not activate it
+            if !matches!(
+                t.kind,
+                TokenKind::LineComment(Doc::None) | TokenKind::BlockComment(Doc::None)
+            ) {
+                continue;
+            }
+            let comment = t.text(&text);
+            if !comment.contains("lint:") {
+                continue;
+            }
+            let line = line_starts.partition_point(|&s| s <= t.start);
+            let slot: &mut String = markers.entry(line).or_default();
+            if !slot.is_empty() {
+                slot.push(' ');
+            }
+            slot.push_str(comment);
+        }
         let mut info = FileInfo {
             path,
             text,
             tokens,
             sig,
-            test_regions: Vec::new(),
+            tree,
+            scopes,
+            test_regions,
             panics_regions: Vec::new(),
+            markers,
             line_starts,
         };
-        info.test_regions = info.find_test_regions();
         info.panics_regions = info.find_panics_regions();
         info
     }
@@ -75,6 +117,32 @@ impl FileInfo {
     pub fn line_text(&self, offset: usize) -> &str {
         let line = self.line_starts.partition_point(|&s| s <= offset);
         let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(self.text.len(), |e| e - 1);
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// Byte offset of the first byte of the line containing `offset`.
+    pub fn line_start_of(&self, offset: usize) -> usize {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        self.line_starts[line - 1]
+    }
+
+    /// Byte offset of the newline ending the line containing `offset`
+    /// (the file end for an unterminated last line).
+    pub fn line_end_of(&self, offset: usize) -> usize {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        self.line_starts.get(line).map_or(self.text.len(), |e| e - 1)
+    }
+
+    /// Byte offset of the first byte of 1-based line `line` (file end
+    /// past EOF).
+    pub fn line_offset(&self, line: usize) -> usize {
+        self.line_starts.get(line.wrapping_sub(1)).copied().unwrap_or(self.text.len())
+    }
+
+    /// The text of 1-based line `line` (empty past EOF), newline excluded.
+    pub fn nth_line(&self, line: usize) -> &str {
+        let Some(&start) = self.line_starts.get(line.wrapping_sub(1)) else { return "" };
         let end = self.line_starts.get(line).map_or(self.text.len(), |e| e - 1);
         self.text[start..end].trim_end_matches('\r')
     }
@@ -104,70 +172,28 @@ impl FileInfo {
         in_regions(&self.panics_regions, offset)
     }
 
-    /// Test-annotated item ranges: each `#[…test…]` attribute through
-    /// the end of the annotated item.
-    fn find_test_regions(&self) -> Vec<(usize, usize)> {
-        let mut regions = Vec::new();
-        let n = self.sig.len();
-        let mut i = 0;
-        while i < n {
-            if self.sig_kind(i) != TokenKind::Punct(b'#') {
-                i += 1;
-                continue;
-            }
-            let attr_start = self.sig_start(i);
-            let mut j = i + 1;
-            let inner = j < n && self.sig_kind(j) == TokenKind::Punct(b'!');
-            if inner {
-                j += 1;
-            }
-            if j >= n || self.sig_kind(j) != TokenKind::Punct(b'[') {
-                i += 1;
-                continue;
-            }
-            // scan the balanced attribute body, collecting identifiers
-            let mut depth = 0usize;
-            let mut has_test_ident = false;
-            let mut has_not = false;
-            while j < n {
-                match self.sig_kind(j) {
-                    TokenKind::Punct(b'[') => depth += 1,
-                    TokenKind::Punct(b']') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    TokenKind::Ident => match self.sig_text(j) {
-                        "test" | "should_panic" | "bench" => has_test_ident = true,
-                        "not" => has_not = true,
-                        _ => {}
-                    },
-                    _ => {}
-                }
-                j += 1;
-            }
-            // conservative: `#[cfg(not(test))]` guards PRODUCTION code,
-            // so any `not` in the attribute vetoes the exemption
-            let is_test = has_test_ident && !has_not;
-            if !is_test {
-                i = j.max(i + 1);
-                continue;
-            }
-            if inner {
-                // #![cfg(test)]: the whole remaining file is test-only
-                regions.push((attr_start, self.text.len()));
-                return regions;
-            }
-            let end = self.item_end(j + 1);
-            regions.push((attr_start, end));
-            // resume after the item so nested attributes inside it are
-            // not re-processed (the region already covers them)
-            while i < n && self.sig_start(i) < end {
-                i += 1;
-            }
-        }
-        regions
+    /// The marker comment (`// lint: …`) text on a 1-based line.
+    pub fn marker_on(&self, line: usize) -> Option<&str> {
+        self.markers.get(&line).map(String::as_str)
+    }
+
+    /// Innermost scope of `kinds` whose body contains `offset`.
+    pub fn innermost_scope(&self, offset: usize, kinds: &[ScopeKind]) -> Option<&Scope> {
+        self.scopes
+            .iter()
+            .filter(|s| kinds.contains(&s.kind) && s.contains(offset))
+            .max_by_key(|s| s.body_start)
+    }
+
+    /// Innermost `fn` scope whose body contains `offset`.
+    pub fn fn_scope_at(&self, offset: usize) -> Option<&Scope> {
+        self.innermost_scope(offset, &[ScopeKind::Fn])
+    }
+
+    /// Index into `sig` of the first significant token at or after byte
+    /// `offset` — for slicing a scope body out of the sig stream.
+    pub fn sig_index_at(&self, offset: usize) -> usize {
+        self.sig.partition_point(|&t| self.tokens[t].start < offset)
     }
 
     /// Bodies of functions whose outer doc comment mentions `# Panics`.
@@ -225,22 +251,6 @@ impl FileInfo {
         None
     }
 
-    /// End offset of the item whose header starts at significant index
-    /// `si`: the close of its first top-level brace block, or the first
-    /// top-level `;`, whichever comes first.
-    fn item_end(&self, si: usize) -> usize {
-        let n = self.sig.len();
-        let mut j = si;
-        while j < n {
-            match self.sig_kind(j) {
-                TokenKind::Punct(b'{') => return self.block_end(j),
-                TokenKind::Punct(b';') => return self.sig_start(j) + 1,
-                _ => j += 1,
-            }
-        }
-        self.text.len()
-    }
-
     /// End offset of the brace block opening at significant index `open`.
     fn block_end(&self, open: usize) -> usize {
         let n = self.sig.len();
@@ -294,6 +304,19 @@ mod tests {
         assert_eq!(f.panics_regions.len(), 1);
         assert!(f.in_panics_fn(src.find("assert").expect("assert")));
         assert!(!f.in_panics_fn(src.find("v[0]").expect("index")));
+    }
+
+    #[test]
+    fn markers_and_scopes_resolve() {
+        let src = "// lint: lock-rank=3\nstatic M: Mutex<()> = Mutex::new(());\n\n/// Doc.\n// lint: hot\npub fn enc(&self) { body(); }\n";
+        let f = FileInfo::new("a.rs".into(), src.into());
+        assert!(f.marker_on(1).is_some_and(|m| m.contains("lock-rank=3")));
+        assert!(f.marker_on(2).is_none());
+        assert!(f.marker_on(5).is_some_and(|m| m.contains("hot")));
+        let body = src.find("body").expect("body");
+        let scope = f.fn_scope_at(body).expect("fn scope");
+        assert_eq!(scope.name.as_deref(), Some("enc"));
+        assert!(f.fn_scope_at(0).is_none());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the brace-tree IR: on *any* input — fragment
+//! soups, unbalanced delimiters, raw strings that swallow braces —
+//! [`build`] must not panic, its preorder flatten must visit every
+//! token index exactly once in order (so the tree round-trips exactly
+//! to the original token stream, and therefore to the original
+//! source), and malformed delimiter structure must surface as typed
+//! [`TreeDiag`]s rather than dropped tokens. These are the invariants
+//! the v2 rules (L6–L8) build on: a tree that loses or reorders a
+//! token silently corrupts every scope boundary the analyzer reports.
+
+use locap_lint::lexer::{lex, Token};
+use locap_lint::tree::{build, node_end, Delim, Node, Tree, TreeDiagKind};
+use proptest::prelude::*;
+
+/// Fragments stressing the tree's tricky paths: nesting, mismatched
+/// and stray delimiters, raw strings containing braces (which must NOT
+/// open groups), attributes, and macro soup.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "impl T { fn g(&self) -> u8 { 0 } }",
+    "{ { { } } }",
+    "( [ { } ] )",
+    "}",
+    "{",
+    ")]}",
+    "([{",
+    "fn f( { )",
+    "r#\"{ not a brace }\"#",
+    "\"{ string brace }\"",
+    "'{'",
+    "// { comment brace\n",
+    "/* { block } */",
+    "#[cfg(test)] mod t { }",
+    "#![forbid(unsafe_code)]",
+    "vec![1, (2 + 3)]",
+    "match x { A(_) => {} }",
+    "let c = |a: &[u8]| a[0];",
+    "where T: Fn(u8) -> u8",
+    "\"unterminated {",
+    "r#\"unterminated raw {",
+    "/* unterminated {",
+    "::<{n}>",
+];
+
+/// Builds the tree of `src` and asserts the tiling invariants.
+fn assert_tree_tiling(src: &str) -> Result<(Vec<Token>, Tree), TestCaseError> {
+    let tokens = lex(src);
+    let tree = build(&tokens);
+    let order = tree.flatten();
+    prop_assert_eq!(
+        &order,
+        &(0..tokens.len()).collect::<Vec<_>>(),
+        "flatten must visit every token exactly once, in order, for {:?}",
+        src
+    );
+    // the tree therefore round-trips to the original source: emitting
+    // each visited token's text reproduces the input byte for byte
+    let rebuilt: String = order.iter().map(|&i| tokens[i].text(src)).collect();
+    prop_assert_eq!(rebuilt, src.to_string(), "token-stream round-trip");
+    Ok((tokens, tree))
+}
+
+/// Structural sanity: every group's recorded delimiters actually match
+/// its kind, and closed groups close with the right byte.
+fn assert_groups_sound(nodes: &[Node], tokens: &[Token], src: &str) {
+    for node in nodes {
+        let Node::Group(g) = node else { continue };
+        let open = tokens[g.open].text(src);
+        let expect_open = match g.delim {
+            Delim::Paren => "(",
+            Delim::Bracket => "[",
+            Delim::Brace => "{",
+        };
+        assert_eq!(open, expect_open, "group opener matches its delim");
+        if let Some(c) = g.close {
+            let expect_close = match g.delim {
+                Delim::Paren => ")",
+                Delim::Bracket => "]",
+                Delim::Brace => "}",
+            };
+            assert_eq!(tokens[c].text(src), expect_close, "group closer matches its delim");
+            assert!(tokens[g.open].start < tokens[c].start, "open before close");
+        }
+        assert!(node_end(node, tokens) >= tokens[g.open].end, "group end past its opener");
+        assert_groups_sound(&g.children, tokens, src);
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded): build survives and tiles.
+    #[test]
+    fn survives_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0usize..300)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tree_tiling(&src)?;
+    }
+
+    /// Random concatenations of adversarial fragments: the tree tiles
+    /// and every group is structurally sound, even when raw strings or
+    /// comments swallow delimiters of later fragments.
+    #[test]
+    fn survives_fragment_soup(ix in prop::collection::vec(0usize..FRAGMENTS.len(), 0usize..24)) {
+        let src: String = ix.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        let (tokens, tree) = assert_tree_tiling(&src)?;
+        assert_groups_sound(&tree.roots, &tokens, &src);
+    }
+
+    /// Unbalanced input always yields a typed diagnostic, never a
+    /// panic: seeding a balanced soup with one extra opener or closer
+    /// must produce at least one Unclosed/StrayClose report while the
+    /// tiling invariant still holds.
+    #[test]
+    fn unbalanced_input_is_reported_not_dropped(
+        ix in prop::collection::vec(0usize..4, 0usize..12),
+        seed in 0usize..6,
+        at in 0usize..13,
+    ) {
+        const BALANCED: &[&str] = &["fn f() {}", "( )", "[x]", "{ y }"];
+        const UNBALANCED: &[&str] = &["{", "}", "(", ")", "[", "]"];
+        let mut parts: Vec<&str> = ix.iter().map(|&i| BALANCED[i]).collect();
+        parts.insert(at.min(parts.len()), UNBALANCED[seed]);
+        let src = parts.join(" ");
+        let (tokens, tree) = assert_tree_tiling(&src)?;
+        prop_assert!(!tree.diags.is_empty(), "must report the unbalanced delimiter in {:?}", src);
+        for d in &tree.diags {
+            prop_assert!(d.token < tokens.len(), "diag token index in range");
+            prop_assert!(matches!(d.kind, TreeDiagKind::StrayClose | TreeDiagKind::Unclosed));
+        }
+    }
+
+    /// Building is a pure function of the token stream: two runs agree
+    /// on flatten order and diagnostics.
+    #[test]
+    fn is_deterministic(ix in prop::collection::vec(0usize..FRAGMENTS.len(), 0usize..16)) {
+        let src: String = ix.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().concat();
+        let tokens = lex(&src);
+        let (a, b) = (build(&tokens), build(&tokens));
+        prop_assert_eq!(a.flatten(), b.flatten());
+        prop_assert_eq!(a.diags, b.diags);
+    }
+}

@@ -203,6 +203,7 @@ impl<'g> ViewEngine<'g> {
     /// view-cache entries and the deadline is checked per vertex. On
     /// truncation the value is the per-vertex prefix computed so far
     /// (empty when the cache cap stops the class refinement itself).
+    // lint: hot
     pub fn run_vertex_budgeted<A: PoVertexAlgorithm>(
         &mut self,
         algo: &A,
@@ -218,6 +219,7 @@ impl<'g> ViewEngine<'g> {
         let mut out = Vec::with_capacity(classes.len());
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut truncation = None;
+        // lint: hot-setup-end
         for (v, &c) in classes.iter().enumerate() {
             if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
@@ -426,6 +428,7 @@ impl<'g> OiEngine<'g> {
     /// Budget-aware [`OiEngine::run_vertex`]: the cache cap bounds the
     /// type-interning memo and the deadline is checked per vertex; on
     /// truncation the value is the per-vertex prefix computed so far.
+    // lint: hot
     pub fn run_vertex_budgeted<A: OiVertexAlgorithm>(
         &mut self,
         algo: &A,
@@ -443,6 +446,7 @@ impl<'g> OiEngine<'g> {
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
+        // lint: hot-setup-end
         for v in 0..self.g.node_count() {
             if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());
@@ -648,6 +652,7 @@ impl<'g> IdEngine<'g> {
 
     /// Budget-aware [`IdEngine::run_vertex`]; on truncation the value
     /// is the per-vertex prefix computed so far.
+    // lint: hot
     pub fn run_vertex_budgeted<A: IdVertexAlgorithm>(
         &mut self,
         algo: &A,
@@ -662,6 +667,7 @@ impl<'g> IdEngine<'g> {
         let (mut evals, mut hits) = (0u64, 0u64);
         let mut out = Vec::with_capacity(self.g.node_count());
         let mut truncation = None;
+        // lint: hot-setup-end
         for v in 0..self.g.node_count() {
             if let Some(t) = budget.check_interrupt() {
                 truncation = Some(t.publish());

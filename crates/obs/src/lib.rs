@@ -46,7 +46,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use json::Json;
@@ -390,10 +390,29 @@ pub struct HistStats {
 /// the [`global`] registry; a private registry is handy in tests.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
-    spans: Mutex<BTreeMap<String, Arc<Histogram>>>,
-    latencies: Mutex<BTreeMap<String, Arc<FineHistogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>, // lint: lock-rank=10
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,   // lint: lock-rank=11
+    spans: Mutex<BTreeMap<String, Arc<Histogram>>>,    // lint: lock-rank=12
+    latencies: Mutex<BTreeMap<String, Arc<FineHistogram>>>, // lint: lock-rank=13
+}
+
+/// The crate's one allowlisted poison-recovery site (lint L7). A
+/// poisoned registry map only means some thread panicked mid-insert;
+/// the map itself is still structurally sound, and observability must
+/// keep working — especially *during* a panic unwind, which is exactly
+/// when the buffered data matters most. Recovery clears the poison
+/// flag so later acquisitions take the `Ok` path again. No poison
+/// counter is bumped here on purpose: the poisoned lock may be the
+/// counter registry's own, and counting through it would re-enter the
+/// lock being recovered.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
 }
 
 impl Registry {
@@ -404,7 +423,7 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("obs counter lock");
+        let mut map = lock_unpoisoned(&self.counters);
         match map.get(name) {
             Some(c) => Counter(Arc::clone(c)),
             None => {
@@ -417,7 +436,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().expect("obs gauge lock");
+        let mut map = lock_unpoisoned(&self.gauges);
         match map.get(name) {
             Some(g) => Gauge(Arc::clone(g)),
             None => {
@@ -430,7 +449,7 @@ impl Registry {
 
     /// The span histogram named `name`, created on first use.
     pub fn span_histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.spans.lock().expect("obs span lock");
+        let mut map = lock_unpoisoned(&self.spans);
         match map.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -445,7 +464,7 @@ impl Registry {
     /// use. Latencies live in their own section (exported by the
     /// [`telemetry`] module), separate from the span histograms.
     pub fn latency(&self, name: &str) -> Latency {
-        let mut map = self.latencies.lock().expect("obs latency lock");
+        let mut map = lock_unpoisoned(&self.latencies);
         match map.get(name) {
             Some(h) => Latency(Arc::clone(h)),
             None => {
@@ -463,24 +482,15 @@ impl Registry {
 
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
-            .counters
-            .lock()
-            .expect("obs counter lock")
+        let counters = lock_unpoisoned(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
-        let gauges = self
-            .gauges
-            .lock()
-            .expect("obs gauge lock")
+        let gauges = lock_unpoisoned(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
-        let spans = self
-            .spans
-            .lock()
-            .expect("obs span lock")
+        let spans = lock_unpoisoned(&self.spans)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -490,10 +500,10 @@ impl Registry {
     /// Removes every metric. Handles held across a reset keep updating
     /// their detached values; re-looking up the name yields a fresh metric.
     pub fn reset(&self) {
-        self.counters.lock().expect("obs counter lock").clear();
-        self.gauges.lock().expect("obs gauge lock").clear();
-        self.spans.lock().expect("obs span lock").clear();
-        self.latencies.lock().expect("obs latency lock").clear();
+        lock_unpoisoned(&self.counters).clear();
+        lock_unpoisoned(&self.gauges).clear();
+        lock_unpoisoned(&self.spans).clear();
+        lock_unpoisoned(&self.latencies).clear();
     }
 }
 

@@ -46,7 +46,9 @@
 use std::collections::BTreeMap;
 
 use crate::json::Json;
-use crate::{bucket_upper_bound, fine_bucket_upper_bound, quantile_from_buckets, Registry};
+use crate::{
+    bucket_upper_bound, fine_bucket_upper_bound, lock_unpoisoned, quantile_from_buckets, Registry,
+};
 
 /// Lossless histogram state: exact aggregates plus sparse bucket counts.
 ///
@@ -200,25 +202,16 @@ impl TelemetryState {
     /// snapshot-plus-deltas reconciliation guarantee. Gauges at 0 are
     /// kept: their deltas carry absolute values.
     pub fn capture(reg: &Registry) -> TelemetryState {
-        let counters = reg
-            .counters
-            .lock()
-            .expect("obs counter lock")
+        let counters = lock_unpoisoned(&reg.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(std::sync::atomic::Ordering::Relaxed)))
             .filter(|&(_, v)| v > 0)
             .collect();
-        let gauges = reg
-            .gauges
-            .lock()
-            .expect("obs gauge lock")
+        let gauges = lock_unpoisoned(&reg.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(std::sync::atomic::Ordering::Relaxed)))
             .collect();
-        let spans = reg
-            .spans
-            .lock()
-            .expect("obs span lock")
+        let spans = lock_unpoisoned(&reg.spans)
             .iter()
             .map(|(k, h)| {
                 let s = h.snapshot();
@@ -233,10 +226,7 @@ impl TelemetryState {
             })
             .filter(|(_, state)| state.count > 0)
             .collect();
-        let latencies = reg
-            .latencies
-            .lock()
-            .expect("obs latency lock")
+        let latencies = lock_unpoisoned(&reg.latencies)
             .iter()
             .map(|(k, h)| {
                 let s = h.snapshot();

@@ -42,6 +42,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::lock_unpoisoned;
 
 /// Maximum structured args carried by one event.
 pub const MAX_ARGS: usize = 4;
@@ -121,12 +122,12 @@ struct Interner {
 }
 
 fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new(); // lint: lock-rank=20
     INTERNER.get_or_init(|| Mutex::new(Interner::default()))
 }
 
 fn intern_global(name: &str) -> u32 {
-    let mut i = interner().lock().expect("trace interner lock");
+    let mut i = lock_unpoisoned(interner());
     if let Some(&id) = i.ids.get(name) {
         return id;
     }
@@ -145,7 +146,7 @@ struct Sink {
 }
 
 fn sink() -> &'static Mutex<Sink> {
-    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new(); // lint: lock-rank=21
     SINK.get_or_init(|| Mutex::new(Sink::default()))
 }
 
@@ -168,7 +169,7 @@ impl Ring {
         let name = std::thread::current()
             .name()
             .map_or_else(|| format!("thread-{tid}"), |n| n.to_string());
-        sink().lock().expect("trace sink lock").thread_names.push((tid, name));
+        lock_unpoisoned(sink()).thread_names.push((tid, name));
         Ring { tid, buf: Vec::new(), head: 0, cap: ring_cap(), dropped: 0, names: HashMap::new() }
     }
 
@@ -334,7 +335,7 @@ pub fn flush_thread() {
         DROPPED.fetch_add(ring.dropped, Ordering::Relaxed);
         ring.dropped = 0;
         if !events.is_empty() {
-            sink().lock().expect("trace sink lock").events.extend(events);
+            lock_unpoisoned(sink()).events.extend(events);
         }
     });
 }
@@ -357,11 +358,11 @@ pub fn drain() -> (Vec<ResolvedEvent>, u64) {
         ring.drain_ordered()
     });
     {
-        let mut s = sink().lock().expect("trace sink lock");
+        let mut s = lock_unpoisoned(sink());
         events.append(&mut s.events);
     }
     let names = {
-        let i = interner().lock().expect("trace interner lock");
+        let i = lock_unpoisoned(interner());
         i.names.clone()
     };
     let name_of = |id: u32| names.get(id as usize).cloned().unwrap_or_default();
@@ -383,7 +384,7 @@ pub fn drain() -> (Vec<ResolvedEvent>, u64) {
 
 /// Thread display names recorded so far, as `(tid, name)` pairs.
 fn thread_names() -> Vec<(u32, String)> {
-    sink().lock().expect("trace sink lock").thread_names.clone()
+    lock_unpoisoned(sink()).thread_names.clone()
 }
 
 /// Renders events as a Chrome trace-event JSON document (the

@@ -13,7 +13,9 @@ use obs::json::Json;
 use obs::trace::{self, EventKind};
 use std::sync::Mutex;
 
-static TRACE_LOCK: Mutex<()> = Mutex::new(());
+// Outermost test-serialization lock: taken before any trace-internal
+// lock (interner=20, sink=21), hence the lowest rank in the crate.
+static TRACE_LOCK: Mutex<()> = Mutex::new(()); // lint: lock-rank=1
 
 /// Runs `f` on a fresh thread with tracing on, returning the drained
 /// events (tracing state is global; the lock serialises enablement).

@@ -34,7 +34,7 @@ pub fn greedy(g: &Graph) -> VertexSet {
                 .chain(g.neighbors(v).iter().copied())
                 .filter(|&u| !dominated[u])
                 .count();
-            if gain > 0 && best.map_or(true, |(b, _)| gain > b) {
+            if gain > 0 && best.is_none_or(|(b, _)| gain > b) {
                 best = Some((gain, v));
             }
         }

@@ -35,7 +35,7 @@ pub fn greedy(g: &Graph) -> VertexSet {
                 continue;
             }
             let deg = g.neighbors(v).iter().filter(|&&u| alive[u]).count();
-            if best.map_or(true, |(b, _)| deg < b) {
+            if best.is_none_or(|(b, _)| deg < b) {
                 best = Some((deg, v));
             }
         }

@@ -38,7 +38,7 @@ pub fn greedy(g: &Graph) -> VertexSet {
             }
             let gain =
                 edges.iter().enumerate().filter(|(i, e)| !covered[*i] && e.touches(v)).count();
-            if gain > 0 && best.map_or(true, |(b, _)| gain > b) {
+            if gain > 0 && best.is_none_or(|(b, _)| gain > b) {
                 best = Some((gain, v));
             }
         }

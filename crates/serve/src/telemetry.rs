@@ -88,8 +88,8 @@ struct PublisherState {
 pub struct TelemetryHub {
     interval: Duration,
     queue: usize,
-    subs: Mutex<Vec<Subscriber>>,
-    state: Mutex<PublisherState>,
+    subs: Mutex<Vec<Subscriber>>, // lint: lock-rank=21
+    state: Mutex<PublisherState>, // lint: lock-rank=20
     next_id: AtomicU64,
 }
 

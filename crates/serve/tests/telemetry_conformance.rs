@@ -32,7 +32,9 @@ use locap_serve::daemon::DaemonConfig;
 use locap_serve::protocol::TelemetryFrame;
 use locap_serve::telemetry::TelemetryHub;
 
-static SERIAL: Mutex<()> = Mutex::new(());
+// Outermost test-serialization lock: taken before any daemon lock
+// (rx=10, state=20, subs=21, writer=30), hence the lowest rank.
+static SERIAL: Mutex<()> = Mutex::new(()); // lint: lock-rank=1
 
 fn serialize() -> MutexGuard<'static, ()> {
     SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
